@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark behind Figure 2: TRTREE index scan vs
+//! sequential scan on the §4.4 synthetic table (10k rows — the report
+//! binary `fig2_rtree` sweeps the full 1k..1M range).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quackdb::Database;
+
+fn setup(n: usize, with_index: bool) -> Database {
+    let db = Database::new();
+    mobilityduck::load(&db);
+    db.execute("CREATE TABLE test_geo(times TIMESTAMPTZ, box STBOX)").unwrap();
+    if with_index {
+        db.execute("CREATE INDEX rtree_stbox ON test_geo USING TRTREE(box)").unwrap();
+    }
+    db.execute(&format!(
+        "INSERT INTO test_geo \
+         SELECT ('2025-08-11 12:00:00'::timestamp + INTERVAL (i || ' minutes')), \
+                ('STBOX X((' || (i * 1.0)::DECIMAL(10,2) || ',' || (i * 1.0)::DECIMAL(10,2) || \
+                '),(' || (i * 1.0 + 0.5)::DECIMAL(10,2) || ',' || (i * 1.0 + 0.5)::DECIMAL(10,2) || \
+                '))')::stbox \
+         FROM generate_series(1, {n}) AS t(i)"
+    ))
+    .unwrap();
+    db
+}
+
+fn bench_scans(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let q = format!(
+        "SELECT count(*) FROM test_geo WHERE box && STBOX('STBOX X(({lo},{lo}),({hi},{hi}))')",
+        lo = N as f64 * 0.5,
+        hi = N as f64 * 0.51
+    );
+    let indexed = setup(N, true);
+    let plain = setup(N, false);
+    let mut g = c.benchmark_group("rtree_vs_seq_10k");
+    g.bench_function("trtree_index_scan", |b| {
+        b.iter(|| indexed.execute(&q).unwrap().rows.len())
+    });
+    g.bench_function("seq_scan", |b| b.iter(|| plain.execute(&q).unwrap().rows.len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

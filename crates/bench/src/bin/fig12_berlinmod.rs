@@ -1,0 +1,115 @@
+//! Regenerates **Figure 12**: the 17 BerlinMOD-Hanoi benchmark queries at
+//! SF-0.001 / 0.002 / 0.005 / 0.01, across the three scenarios
+//! (MobilityDuck; MobilityDB without indexes; MobilityDB with indexes).
+//! Prints runtimes in milliseconds plus a per-query winner summary.
+//!
+//! Pass `--small` to run SF-0.001 only; `--runs N` to change the sample
+//! count (default 3, median reported).
+
+use berlinmod::{benchmark_queries, ScaleFactor};
+use mduck_bench::{render_table, BenchEnv, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let runs: usize = args
+        .iter()
+        .position(|a| a == "--runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let sf_arg: Option<f64> = args
+        .iter()
+        .position(|a| a == "--sf")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let skip: Vec<u32> = args
+        .iter()
+        .position(|a| a == "--skip")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_default();
+    let single;
+    let sfs: &[f64] = if let Some(sf) = sf_arg {
+        single = [sf];
+        &single
+    } else if small {
+        &[0.001]
+    } else {
+        &[0.001, 0.002, 0.005, 0.01]
+    };
+
+    let scenarios = [
+        Scenario::MobilityDuck,
+        Scenario::MobilityDbPlain,
+        Scenario::MobilityDbIndexed,
+    ];
+
+    // wins[scenario] across all (query, sf) cells.
+    let mut wins = [0usize; 3];
+    let mut duck_beats_both = vec![true; 18]; // indexed by query id
+
+    for &sf in sfs {
+        eprintln!("preparing SF-{sf} ...");
+        let env = BenchEnv::prepare(ScaleFactor(sf), 42);
+        println!(
+            "\nFigure 12 — SF-{sf}: {} vehicles, {} trips (runtimes in ms, median of {runs})\n",
+            env.data.vehicles.len(),
+            env.data.trips.len()
+        );
+        let mut rows = Vec::new();
+        for (id, _question, sql) in benchmark_queries() {
+            if skip.contains(&id) {
+                println!("Q{id}: skipped (--skip)");
+                continue;
+            }
+            let mut cells = vec![format!("Q{id}")];
+            let mut times = Vec::new();
+            for (si, sc) in scenarios.iter().enumerate() {
+                let (ms, nrows) = env.run_median(*sc, sql, runs);
+                times.push(ms);
+                cells.push(format!("{ms:.2}"));
+                if si == 0 {
+                    cells.push(nrows.to_string());
+                }
+            }
+            let best = times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            wins[best] += 1;
+            if times[0] > times[1] || times[0] > times[2] {
+                duck_beats_both[id as usize] = false;
+            }
+            cells.push(scenarios[best].label().to_string());
+            rows.push(cells);
+            eprintln!("  Q{id} done");
+        }
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "query",
+                    "MobilityDuck (ms)",
+                    "rows",
+                    "MobilityDB no-idx (ms)",
+                    "MobilityDB idx (ms)",
+                    "winner",
+                ],
+                &rows,
+            )
+        );
+    }
+
+    let duck_sweeps = duck_beats_both[1..=17].iter().filter(|b| **b).count();
+    println!("\nSummary across all scale factors:");
+    for (i, sc) in scenarios.iter().enumerate() {
+        println!("  fastest in {:>3} cells: {}", wins[i], sc.label());
+    }
+    println!(
+        "  MobilityDuck fastest in all tested SFs on {duck_sweeps}/17 queries \
+         (paper reports 12/17)."
+    );
+}

@@ -1,0 +1,96 @@
+//! GeoJSON export of trips and districts — the paper publishes these for
+//! Kepler.gl visualization (§5.2); we produce the same artifacts.
+
+use mduck_geo::geometry::GeomData;
+use mduck_geo::Geometry;
+
+use crate::dataset::BerlinModData;
+
+/// Serialize a geometry to a GeoJSON geometry object.
+pub fn geometry_to_geojson(g: &Geometry) -> String {
+    fn coords(ps: &[mduck_geo::point::Point]) -> String {
+        let inner: Vec<String> = ps.iter().map(|p| format!("[{},{}]", p.x, p.y)).collect();
+        format!("[{}]", inner.join(","))
+    }
+    match &g.data {
+        GeomData::Point(p) => format!(r#"{{"type":"Point","coordinates":[{},{}]}}"#, p.x, p.y),
+        GeomData::LineString(ps) => {
+            format!(r#"{{"type":"LineString","coordinates":{}}}"#, coords(ps))
+        }
+        GeomData::MultiPoint(ps) => {
+            format!(r#"{{"type":"MultiPoint","coordinates":{}}}"#, coords(ps))
+        }
+        GeomData::Polygon(rings) => {
+            let rs: Vec<String> = rings.iter().map(|r| coords(r)).collect();
+            format!(r#"{{"type":"Polygon","coordinates":[{}]}}"#, rs.join(","))
+        }
+        GeomData::MultiLineString(lines) => {
+            let rs: Vec<String> = lines.iter().map(|r| coords(r)).collect();
+            format!(r#"{{"type":"MultiLineString","coordinates":[{}]}}"#, rs.join(","))
+        }
+        GeomData::GeometryCollection(gs) => {
+            let inner: Vec<String> = gs.iter().map(geometry_to_geojson).collect();
+            format!(r#"{{"type":"GeometryCollection","geometries":[{}]}}"#, inner.join(","))
+        }
+    }
+}
+
+/// A FeatureCollection of trip trajectories (with vehicle/trip ids and
+/// start timestamps as properties, the fields Kepler.gl animates on).
+pub fn trips_geojson(data: &BerlinModData, limit: usize) -> String {
+    let feats: Vec<String> = data
+        .trips
+        .iter()
+        .take(limit)
+        .map(|t| {
+            format!(
+                r#"{{"type":"Feature","properties":{{"vehicle":{},"trip":{},"start":"{}"}},"geometry":{}}}"#,
+                t.vehicle_id,
+                t.trip_id,
+                t.trip.temp.start_timestamp(),
+                geometry_to_geojson(&t.trip.trajectory())
+            )
+        })
+        .collect();
+    format!(r#"{{"type":"FeatureCollection","features":[{}]}}"#, feats.join(","))
+}
+
+/// A FeatureCollection of the administrative districts (Figure 4).
+pub fn districts_geojson(data: &BerlinModData) -> String {
+    let feats: Vec<String> = data
+        .districts
+        .iter()
+        .map(|(name, g, pop)| {
+            format!(
+                r#"{{"type":"Feature","properties":{{"name":"{}","population_weight":{}}},"geometry":{}}}"#,
+                name,
+                pop,
+                geometry_to_geojson(g)
+            )
+        })
+        .collect();
+    format!(r#"{{"type":"FeatureCollection","features":[{}]}}"#, feats.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RoadNetwork;
+    use crate::trips::ScaleFactor;
+
+    #[test]
+    fn geojson_is_well_formed() {
+        let g = mduck_geo::wkt::parse_wkt("LINESTRING(0 0,1 1)").unwrap();
+        let j = geometry_to_geojson(&g);
+        assert_eq!(j, r#"{"type":"LineString","coordinates":[[0,0],[1,1]]}"#);
+
+        let net = RoadNetwork::generate(42);
+        let data = crate::dataset::BerlinModData::generate(&net, ScaleFactor(0.001), 42);
+        let trips = trips_geojson(&data, 3);
+        assert!(trips.starts_with(r#"{"type":"FeatureCollection""#));
+        assert_eq!(trips.matches(r#""type":"Feature""#).count(), 3);
+        let dist = districts_geojson(&data);
+        assert_eq!(dist.matches("Polygon").count(), 12);
+        assert!(dist.contains("Hoan Kiem"));
+    }
+}

@@ -1,0 +1,326 @@
+//! A synthetic "Hanoi-like" road network and administrative districts.
+//!
+//! Substitution for the OSM extract the paper feeds through osm2pgrouting
+//! (no offline OSM data is available): a jittered grid with ring-radial
+//! arterials, 12 districts named and population-weighted after Hanoi's
+//! urban districts, and Dijkstra routing. Coordinates are metres in the
+//! VN-2000 / UTM 48N frame (SRID 3405) around Hoan Kiem lake, so distances
+//! and speeds are physically meaningful.
+
+use mduck_geo::point::Point;
+use mduck_geo::Geometry;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// SRID of all network coordinates.
+pub const NETWORK_SRID: i32 = 3405;
+
+/// Network centre (approximately Hoan Kiem, VN-2000 / UTM 48N metres).
+pub const CENTER: Point = Point { x: 585_000.0, y: 2_325_000.0 };
+
+/// Grid spacing in metres.
+const SPACING: f64 = 500.0;
+/// Grid half-extent in cells (the network spans ±HALF cells around the
+/// centre, i.e. a 20 km × 20 km city).
+const HALF: i32 = 20;
+
+/// A road-network node.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    pub pos: Point,
+    pub district: usize,
+}
+
+/// A directed edge with a free-flow speed.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    pub to: usize,
+    pub length_m: f64,
+    pub speed_mps: f64,
+}
+
+/// An administrative district (Figure 4's polygons).
+#[derive(Debug, Clone)]
+pub struct District {
+    pub name: &'static str,
+    pub polygon: Geometry,
+    /// Relative residential weight (Hanoi's population skew).
+    pub population_weight: f64,
+    /// Relative employment weight (jobs concentrate in the core).
+    pub work_weight: f64,
+}
+
+/// The road network: adjacency lists + district geometry.
+pub struct RoadNetwork {
+    pub nodes: Vec<Node>,
+    pub adjacency: Vec<Vec<Edge>>,
+    pub districts: Vec<District>,
+}
+
+/// Hanoi's 12 urban districts: (name, population weight, work weight).
+/// Weights follow the real population skew (Hoang Mai and Dong Da are the
+/// most populous; Hoan Kiem is the dense employment core).
+const DISTRICTS: [(&str, f64, f64); 12] = [
+    ("Ba Dinh", 0.8, 1.2),
+    ("Hoan Kiem", 0.5, 2.0),
+    ("Tay Ho", 0.55, 0.6),
+    ("Long Bien", 1.0, 0.7),
+    ("Cau Giay", 0.95, 1.3),
+    ("Dong Da", 1.25, 1.1),
+    ("Hai Ba Trung", 1.05, 1.0),
+    ("Hoang Mai", 1.4, 0.6),
+    ("Thanh Xuan", 1.0, 0.8),
+    ("Ha Dong", 1.1, 0.5),
+    ("Nam Tu Liem", 0.9, 0.9),
+    ("Bac Tu Liem", 0.95, 0.5),
+];
+
+impl RoadNetwork {
+    /// Deterministically generate the network.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let districts = make_districts();
+        let width = (2 * HALF + 1) as usize;
+        let mut nodes = Vec::with_capacity(width * width);
+        for gy in -HALF..=HALF {
+            for gx in -HALF..=HALF {
+                // Jitter streets so trajectories aren't axis-aligned.
+                let jx: f64 = rng.random_range(-0.18..0.18) * SPACING;
+                let jy: f64 = rng.random_range(-0.18..0.18) * SPACING;
+                let pos = Point::new(
+                    CENTER.x + gx as f64 * SPACING + jx,
+                    CENTER.y + gy as f64 * SPACING + jy,
+                );
+                let district = district_of(gx, gy);
+                nodes.push(Node { pos, district });
+            }
+        }
+        let index = |gx: i32, gy: i32| -> usize {
+            ((gy + HALF) as usize) * width + (gx + HALF) as usize
+        };
+        let mut adjacency: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        for gy in -HALF..=HALF {
+            for gx in -HALF..=HALF {
+                let from = index(gx, gy);
+                // Ring-radial arterials are faster than side streets; the
+                // two main axes plus the middle ring get highway speeds.
+                let arterial = gx == 0 || gy == 0 || gx.abs() == 10 || gy.abs() == 10;
+                let base_speed = if arterial { 13.9 } else { 8.3 }; // 50 / 30 km/h
+                for (dx, dy) in [(1i32, 0i32), (0, 1)] {
+                    let (nx, ny) = (gx + dx, gy + dy);
+                    if nx > HALF || ny > HALF {
+                        continue;
+                    }
+                    // Sparse random street removals keep the graph
+                    // non-trivial but connected (arterials always stay).
+                    if !arterial && rng.random_range(0.0..1.0) < 0.08 {
+                        continue;
+                    }
+                    let to = index(nx, ny);
+                    let length = nodes[from].pos.distance(&nodes[to].pos);
+                    let speed = base_speed * rng.random_range(0.85..1.15);
+                    adjacency[from].push(Edge { to, length_m: length, speed_mps: speed });
+                    adjacency[to].push(Edge { to: from, length_m: length, speed_mps: speed });
+                }
+            }
+        }
+        RoadNetwork { nodes, adjacency, districts }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sample a node weighted by district residential population.
+    pub fn sample_home(&self, rng: &mut StdRng) -> usize {
+        self.sample_weighted(rng, |d| d.population_weight)
+    }
+
+    /// Sample a node weighted by district employment.
+    pub fn sample_work(&self, rng: &mut StdRng) -> usize {
+        self.sample_weighted(rng, |d| d.work_weight)
+    }
+
+    fn sample_weighted(&self, rng: &mut StdRng, w: impl Fn(&District) -> f64) -> usize {
+        let total: f64 = self.districts.iter().map(&w).sum();
+        let mut pick = rng.random_range(0.0..total);
+        let mut chosen = 0;
+        for (i, d) in self.districts.iter().enumerate() {
+            pick -= w(d);
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        // Rejection-sample a node in the chosen district.
+        loop {
+            let n = rng.random_range(0..self.nodes.len());
+            if self.nodes[n].district == chosen {
+                return n;
+            }
+        }
+    }
+
+    /// Dijkstra shortest path by travel time; returns the node sequence
+    /// (empty when unreachable).
+    pub fn shortest_path(&self, from: usize, to: usize) -> Vec<usize> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let n = self.nodes.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
+        dist[from] = 0.0;
+        heap.push((Reverse(0), from));
+        while let Some((Reverse(d_ms), u)) = heap.pop() {
+            let d = d_ms as f64 / 1000.0;
+            if d > dist[u] + 1e-9 {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for e in &self.adjacency[u] {
+                let nd = dist[u] + e.length_m / e.speed_mps;
+                if nd + 1e-9 < dist[e.to] {
+                    dist[e.to] = nd;
+                    prev[e.to] = u;
+                    heap.push((Reverse((nd * 1000.0) as u64), e.to));
+                }
+            }
+        }
+        if dist[to].is_infinite() {
+            return Vec::new();
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur];
+            if cur == usize::MAX {
+                return Vec::new();
+            }
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// The edge between two adjacent path nodes.
+    pub fn edge_between(&self, a: usize, b: usize) -> Option<&Edge> {
+        self.adjacency[a].iter().find(|e| e.to == b)
+    }
+}
+
+/// Assign a grid cell to one of the 12 districts: a 4 × 3 tiling of the
+/// city square (rough but deterministic; the polygons match).
+fn district_of(gx: i32, gy: i32) -> usize {
+    let col = (((gx + HALF) * 4) / (2 * HALF + 1)).clamp(0, 3) as usize;
+    let row = (((gy + HALF) * 3) / (2 * HALF + 1)).clamp(0, 2) as usize;
+    row * 4 + col
+}
+
+fn make_districts() -> Vec<District> {
+    let size = (2 * HALF) as f64 * SPACING;
+    let x0 = CENTER.x - size / 2.0;
+    let y0 = CENTER.y - size / 2.0;
+    let dw = size / 4.0;
+    let dh = size / 3.0;
+    DISTRICTS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, pop, work))| {
+            let col = (i % 4) as f64;
+            let row = (i / 4) as f64;
+            let (xa, ya) = (x0 + col * dw, y0 + row * dh);
+            let polygon = Geometry::polygon(vec![vec![
+                Point::new(xa, ya),
+                Point::new(xa + dw, ya),
+                Point::new(xa + dw, ya + dh),
+                Point::new(xa, ya + dh),
+                Point::new(xa, ya),
+            ]])
+            .expect("district rectangle is a valid polygon")
+            .with_srid(NETWORK_SRID);
+            District {
+                name,
+                polygon,
+                population_weight: *pop,
+                work_weight: *work,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_is_deterministic() {
+        let a = RoadNetwork::generate(42);
+        let b = RoadNetwork::generate(42);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.nodes[100].pos, b.nodes[100].pos);
+        let c = RoadNetwork::generate(7);
+        assert_ne!(a.nodes[100].pos, c.nodes[100].pos);
+    }
+
+    #[test]
+    fn all_nodes_reachable_via_arterials() {
+        let net = RoadNetwork::generate(42);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..25 {
+            let a = rng.random_range(0..net.num_nodes());
+            let b = rng.random_range(0..net.num_nodes());
+            let path = net.shortest_path(a, b);
+            assert!(!path.is_empty(), "no path {a} → {b}");
+            assert_eq!(path[0], a);
+            assert_eq!(*path.last().unwrap(), b);
+            // Consecutive nodes are connected.
+            for w in path.windows(2) {
+                assert!(net.edge_between(w[0], w[1]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn districts_cover_all_nodes() {
+        let net = RoadNetwork::generate(42);
+        for node in &net.nodes {
+            assert!(node.district < 12);
+        }
+        // Weighted sampling respects districts.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let h = net.sample_home(&mut rng);
+            assert!(h < net.num_nodes());
+        }
+    }
+
+    #[test]
+    fn district_polygons_contain_their_nodes() {
+        use mduck_geo::algorithms::geometry_covers_point;
+        let net = RoadNetwork::generate(42);
+        let mut hits = 0usize;
+        for node in net.nodes.iter().step_by(37) {
+            if geometry_covers_point(&net.districts[node.district].polygon, node.pos) {
+                hits += 1;
+            }
+        }
+        // Jitter can push border nodes slightly outside their rectangle;
+        // the overwhelming majority must match.
+        let total = net.nodes.iter().step_by(37).count();
+        assert!(hits * 10 >= total * 9, "{hits}/{total}");
+    }
+
+    #[test]
+    fn shortest_path_prefers_fast_roads() {
+        let net = RoadNetwork::generate(42);
+        // A long diagonal route should use more than the bare minimum of
+        // hops (it detours onto arterials).
+        let a = 0;
+        let b = net.num_nodes() - 1;
+        let path = net.shortest_path(a, b);
+        assert!(path.len() >= 2 * HALF as usize);
+    }
+}

@@ -1,0 +1,275 @@
+//! The 17 BerlinMOD range queries (§6.3), as SQL text that runs unchanged
+//! on both engines. Q3, Q5, Q7, Q10 are transcribed from the paper's
+//! listings; the rest follow the BerlinMOD benchmark's business questions.
+
+/// (query id, business question, SQL).
+pub fn benchmark_queries() -> Vec<(u32, &'static str, &'static str)> {
+    vec![
+        (
+            1,
+            "What are the models of the vehicles with license plate numbers from Licenses1?",
+            "SELECT DISTINCT l.license, v.model
+             FROM vehicles v, licenses1 l
+             WHERE v.vehicleid = l.vehicleid
+             ORDER BY l.license",
+        ),
+        (
+            2,
+            "How many vehicles exist that are passenger cars?",
+            "SELECT count(*) FROM vehicles v WHERE v.vehicletype = 'passenger'",
+        ),
+        (
+            3,
+            "Where have the vehicles with licenses from Licenses1 been at each of the instants from Instants1?",
+            "SELECT DISTINCT l.license, i.instantid, i.instant AS instant,
+                    valueAtTimestamp(t.trip, i.instant)::GEOMETRY AS pos
+             FROM trips t, licenses1 l, instants1 i
+             WHERE t.vehicleid = l.vehicleid AND
+                   t.trip::tstzspan @> i.instant
+             ORDER BY l.license, i.instantid",
+        ),
+        (
+            4,
+            "Which license plate numbers belong to vehicles that have passed the points from Points1?",
+            "SELECT DISTINCT p.pointid, v.license
+             FROM trips t, vehicles v, points1 p
+             WHERE t.vehicleid = v.vehicleid AND
+                   t.trip && stbox(p.geom) AND
+                   ST_Intersects(trajectory(t.trip), p.geom)
+             ORDER BY p.pointid, v.license",
+        ),
+        (
+            5,
+            "What is the minimum distance between places, where a vehicle with a license from Licenses1 and a vehicle with a license from Licenses2 have been?",
+            "WITH Temp1(license1, trajs) AS (
+               SELECT l1.license, collect_gs(list(trajectory_gs(t1.trip)))
+               FROM trips t1, licenses1 l1
+               WHERE t1.vehicleid = l1.vehicleid
+               GROUP BY l1.license ),
+             Temp2(license2, trajs) AS (
+               SELECT l2.license, collect_gs(list(trajectory_gs(t2.trip)))
+               FROM trips t2, licenses2 l2
+               WHERE t2.vehicleid = l2.vehicleid
+               GROUP BY l2.license )
+             SELECT license1, license2, distance_gs(t1.trajs, t2.trajs) AS mindist
+             FROM Temp1 t1, Temp2 t2
+             ORDER BY license1, license2",
+        ),
+        (
+            6,
+            "What are the pairs of trucks that have ever been as close as 10m or less to each other?",
+            "SELECT DISTINCT t1.vehicleid AS truck1, t2.vehicleid AS truck2
+             FROM trips t1, vehicles v1, trips t2, vehicles v2
+             WHERE t1.vehicleid = v1.vehicleid AND t2.vehicleid = v2.vehicleid AND
+                   t1.vehicleid < t2.vehicleid AND
+                   v1.vehicletype = 'truck' AND v2.vehicletype = 'truck' AND
+                   t1.trip && expandSpace(t2.trip::STBOX, 10.0) AND
+                   eDwithin(t1.trip, t2.trip, 10.0)
+             ORDER BY truck1, truck2",
+        ),
+        (
+            7,
+            "What are the license plate numbers of the passenger cars that have reached the points from Points1 first of all passenger cars during the complete observation period?",
+            "WITH Timestamps AS (
+               SELECT DISTINCT v.license, p.pointid, p.geom,
+                      MIN(startTimestamp(atValues(t.trip, p.geom::WKB_BLOB))) AS instant
+               FROM trips t, vehicles v, points1 p
+               WHERE t.vehicleid = v.vehicleid AND
+                     v.vehicletype = 'passenger' AND
+                     t.trip && stbox(p.geom) AND
+                     ST_Intersects(trajectory(t.trip), p.geom)
+               GROUP BY v.license, p.pointid, p.geom )
+             SELECT t1.license, t1.pointid, t1.instant
+             FROM Timestamps t1
+             WHERE t1.instant <= ALL (
+               SELECT t2.instant
+               FROM Timestamps t2
+               WHERE t1.pointid = t2.pointid )
+             ORDER BY t1.pointid, t1.license",
+        ),
+        (
+            8,
+            "What are the overall traveled distances of the vehicles with licenses from Licenses1 during the periods from Periods1?",
+            "SELECT l.license, p.periodid, p.period,
+                    sum(length(atTime(t.trip, p.period))) AS dist
+             FROM trips t, licenses1 l, periods1 p
+             WHERE t.vehicleid = l.vehicleid AND
+                   t.trip::tstzspan && p.period
+             GROUP BY l.license, p.periodid, p.period
+             ORDER BY l.license, p.periodid",
+        ),
+        (
+            9,
+            "What is the longest distance that was traveled by a vehicle during each of the periods from Periods1?",
+            "WITH Distances AS (
+               SELECT p.periodid, t.vehicleid,
+                      sum(length(atTime(t.trip, p.period))) AS dist
+               FROM trips t, periods1 p
+               WHERE t.trip::tstzspan && p.period
+               GROUP BY p.periodid, t.vehicleid )
+             SELECT d1.periodid, max(d1.dist) AS maxdist
+             FROM Distances d1
+             GROUP BY d1.periodid
+             ORDER BY d1.periodid",
+        ),
+        (
+            10,
+            "When and where did the vehicles with license plate numbers from Licenses1 meet other vehicles (distance < 3 meters) and what are the latter licenses?",
+            "WITH Temp AS (
+               SELECT l1.license AS license1, t2.vehicleid AS car2id,
+                      whenTrue(tDwithin(t1.trip, t2.trip, 3.0)) AS periods
+               FROM trips t1, licenses1 l1, trips t2, vehicles v
+               WHERE t1.vehicleid = l1.vehicleid AND
+                     t2.vehicleid = v.vehicleid AND
+                     t1.vehicleid <> t2.vehicleid AND
+                     t2.trip && expandSpace(t1.trip::STBOX, 3.0))
+             SELECT license1, car2id, periods
+             FROM Temp
+             WHERE periods IS NOT NULL
+             ORDER BY license1, car2id",
+        ),
+        (
+            11,
+            "Which vehicles passed a point from Points1 at one of the instants from Instants1?",
+            "SELECT p.pointid, i.instantid, v.license
+             FROM trips t, vehicles v, points1 p, instants1 i
+             WHERE t.vehicleid = v.vehicleid AND
+                   t.trip::tstzspan @> i.instant AND
+                   t.trip && stbox(p.geom) AND
+                   ST_DWithin(valueAtTimestamp(t.trip, i.instant), p.geom, 25.0)
+             ORDER BY p.pointid, i.instantid, v.license",
+        ),
+        (
+            12,
+            "Which vehicles met at a point from Points1 at an instant from Instants1?",
+            "SELECT DISTINCT p.pointid, i.instantid,
+                    v1.license AS license1, v2.license AS license2
+             FROM trips t1, vehicles v1, trips t2, vehicles v2, points1 p, instants1 i
+             WHERE t1.vehicleid = v1.vehicleid AND t2.vehicleid = v2.vehicleid AND
+                   t1.vehicleid < t2.vehicleid AND
+                   t1.trip::tstzspan @> i.instant AND
+                   t2.trip::tstzspan @> i.instant AND
+                   t1.trip && stbox(p.geom) AND t2.trip && stbox(p.geom) AND
+                   ST_DWithin(valueAtTimestamp(t1.trip, i.instant), p.geom, 25.0) AND
+                   ST_DWithin(valueAtTimestamp(t2.trip, i.instant), p.geom, 25.0)
+             ORDER BY p.pointid, i.instantid, license1, license2",
+        ),
+        (
+            13,
+            "Which vehicles traveled within one of the regions from Regions1 during the periods from Periods1?",
+            "SELECT DISTINCT r.regionid, p.periodid, v.license
+             FROM trips t, vehicles v, regions1 r, periods1 p
+             WHERE t.vehicleid = v.vehicleid AND
+                   t.trip && stbox(r.geom) AND
+                   t.trip::tstzspan && p.period AND
+                   eIntersects(atTime(t.trip, p.period), r.geom)
+             ORDER BY r.regionid, p.periodid, v.license",
+        ),
+        (
+            14,
+            "Which vehicles traveled within one of the regions from Regions1 at one of the instants from Instants1?",
+            "SELECT DISTINCT r.regionid, i.instantid, v.license
+             FROM trips t, vehicles v, regions1 r, instants1 i
+             WHERE t.vehicleid = v.vehicleid AND
+                   t.trip::tstzspan @> i.instant AND
+                   t.trip && stbox(r.geom) AND
+                   ST_Intersects(valueAtTimestamp(t.trip, i.instant), r.geom)
+             ORDER BY r.regionid, i.instantid, v.license",
+        ),
+        (
+            15,
+            "Which vehicles passed a point from Points1 during a period from Periods1?",
+            "SELECT DISTINCT p.pointid, pr.periodid, v.license
+             FROM trips t, vehicles v, points1 p, periods1 pr
+             WHERE t.vehicleid = v.vehicleid AND
+                   t.trip && stbox(p.geom) AND
+                   t.trip::tstzspan && pr.period AND
+                   ST_Intersects(trajectory(atTime(t.trip, pr.period))::GEOMETRY, p.geom)
+             ORDER BY p.pointid, pr.periodid, v.license",
+        ),
+        (
+            16,
+            "List the pairs of licenses from Licenses1 and Licenses2 where the corresponding vehicles were both within a region from Regions1 during a period from Periods1",
+            "SELECT DISTINCT l1.license AS license1, l2.license AS license2,
+                    r.regionid, p.periodid
+             FROM trips t1, licenses1 l1, trips t2, licenses2 l2, regions1 r, periods1 p
+             WHERE t1.vehicleid = l1.vehicleid AND t2.vehicleid = l2.vehicleid AND
+                   l1.license < l2.license AND
+                   t1.trip && stbox(r.geom) AND t2.trip && stbox(r.geom) AND
+                   t1.trip::tstzspan && p.period AND t2.trip::tstzspan && p.period AND
+                   eIntersects(atTime(t1.trip, p.period), r.geom) AND
+                   eIntersects(atTime(t2.trip, p.period), r.geom)
+             ORDER BY license1, license2, r.regionid, p.periodid",
+        ),
+        (
+            17,
+            "Which point(s) from Points1 have been visited by a maximum number of different vehicles?",
+            "WITH PointCount AS (
+               SELECT p.pointid, count(DISTINCT t.vehicleid) AS hits
+               FROM trips t, points1 p
+               WHERE t.trip && stbox(p.geom) AND
+                     ST_Intersects(trajectory(t.trip), p.geom)
+               GROUP BY p.pointid )
+             SELECT pc.pointid, pc.hits
+             FROM PointCount pc
+             WHERE pc.hits >= ALL (SELECT hits FROM PointCount)
+             ORDER BY pc.pointid",
+        ),
+    ]
+}
+
+/// The §6.2 use-case analytics (Figures 6–11), as SQL against the loaded
+/// tables (`trips` plays the trajectories role; `hanoi` holds districts).
+pub fn usecase_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "all_trajectories",
+            "SELECT t.vehicleid, t.tripid, ST_AsText(t.traj) AS traj FROM trips t ORDER BY t.tripid LIMIT 20",
+        ),
+        (
+            "trip_crossing_most_districts",
+            "WITH Crossings AS (
+               SELECT t.tripid, count(*) AS n
+               FROM trips t, hanoi h
+               WHERE ST_Intersects(t.traj, h.geom)
+               GROUP BY t.tripid )
+             SELECT c.tripid, c.n FROM Crossings c
+             WHERE c.n >= ALL (SELECT n FROM Crossings)
+             ORDER BY c.tripid",
+        ),
+        (
+            "trips_crossing_hai_ba_trung",
+            "SELECT count(*)
+             FROM trips t, hanoi h
+             WHERE h.municipalityname = 'Hai Ba Trung' AND ST_Intersects(t.traj, h.geom)",
+        ),
+        (
+            "distance_per_district",
+            "SELECT h.municipalityname, round((sum(length(atGeometry(t.trip, h.geom))) / 1000), 3) AS total_km
+             FROM trips t, hanoi h
+             WHERE ST_Intersects(t.traj, h.geom)
+             GROUP BY h.municipalityname
+             ORDER BY total_km DESC",
+        ),
+        (
+            "top6_districts_by_trips",
+            "SELECT h.municipalityname, count(*) AS n
+             FROM trips t, hanoi h
+             WHERE ST_Intersects(t.traj, h.geom)
+             GROUP BY h.municipalityname
+             ORDER BY n DESC, h.municipalityname
+             LIMIT 6",
+        ),
+        (
+            "close_vehicle_pairs",
+            "SELECT DISTINCT t1.vehicleid AS vehicleid1, t1.tripid AS tripid1,
+                    t2.vehicleid AS vehicleid2, t2.tripid AS tripid2
+             FROM (SELECT * FROM trips t1 LIMIT 100) t1,
+                  (SELECT * FROM trips t2 LIMIT 100) t2
+             WHERE t1.vehicleid < t2.vehicleid AND
+                   eDwithin(t1.trip, t2.trip, 10.0)
+             ORDER BY vehicleid1, vehicleid2
+             LIMIT 50",
+        ),
+    ]
+}

@@ -1,0 +1,220 @@
+//! BerlinMOD trip generation over the synthetic Hanoi network.
+//!
+//! Follows the BerlinMOD mobility model: each vehicle has a home and a
+//! work node; weekdays produce a morning home→work and an evening
+//! work→home commute, plus an optional evening leisure round trip. The
+//! scale-factor model matches the paper's Tables 2–3:
+//! `vehicles = round(2000·√SF)`, `days = round(28·√SF) + 2`.
+
+use mduck_geo::point::Point;
+use mduck_temporal::temporal::TGeomPoint;
+use mduck_temporal::time::USECS_PER_SEC;
+use mduck_temporal::{Date, TimestampTz};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::network::RoadNetwork;
+
+/// One generated trip.
+#[derive(Debug, Clone)]
+pub struct Trip {
+    pub trip_id: i64,
+    pub vehicle_id: i64,
+    pub day: Date,
+    pub seq_no: i64,
+    pub source_node: usize,
+    pub target_node: usize,
+    pub trip: TGeomPoint,
+}
+
+/// One generated vehicle.
+#[derive(Debug, Clone)]
+pub struct Vehicle {
+    pub vehicle_id: i64,
+    pub license: String,
+    pub vehicle_type: &'static str,
+    pub model: &'static str,
+    pub home: usize,
+    pub work: usize,
+}
+
+/// The scale-factor model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleFactor(pub f64);
+
+impl ScaleFactor {
+    pub fn num_vehicles(self) -> usize {
+        (2000.0 * self.0.sqrt()).round() as usize
+    }
+
+    pub fn num_days(self) -> usize {
+        (28.0 * self.0.sqrt()).round() as usize + 2
+    }
+}
+
+const MODELS: [&str; 8] = [
+    "Honda Wave", "Yamaha Sirius", "Toyota Vios", "Honda SH", "Kia Morning", "Hyundai i10",
+    "VinFast VF8", "Honda CR-V",
+];
+
+/// First simulated day (a Monday).
+pub fn first_day() -> Date {
+    Date::from_ymd(2025, 6, 2)
+}
+
+/// Generate vehicles and trips for a scale factor. Deterministic in
+/// `seed`.
+pub fn generate_trips(
+    net: &RoadNetwork,
+    sf: ScaleFactor,
+    seed: u64,
+) -> (Vec<Vehicle>, Vec<Trip>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_vehicles = sf.num_vehicles();
+    let num_days = sf.num_days();
+    let mut vehicles = Vec::with_capacity(num_vehicles);
+    let mut trips = Vec::new();
+    let mut trip_id = 0i64;
+    for vid in 1..=num_vehicles as i64 {
+        let home = net.sample_home(&mut rng);
+        let mut work = net.sample_work(&mut rng);
+        // Ensure a real commute.
+        while work == home {
+            work = net.sample_work(&mut rng);
+        }
+        let vehicle_type = if rng.random_range(0.0..1.0) < 0.9 { "passenger" } else { "truck" };
+        let license = format!("29A-{:03}.{:02}", vid / 100 + 100, vid % 100);
+        vehicles.push(Vehicle {
+            vehicle_id: vid,
+            license,
+            vehicle_type,
+            model: MODELS[rng.random_range(0..MODELS.len())],
+            home,
+            work,
+        });
+        for d in 0..num_days as i32 {
+            let day = Date(first_day().0 + d);
+            let mut seq = 0i64;
+            let mut emit = |trips: &mut Vec<Trip>,
+                            rng: &mut StdRng,
+                            from: usize,
+                            to: usize,
+                            depart_h: f64| {
+                if let Some(trip) = route_trip(net, rng, from, to, day, depart_h) {
+                    trip_id += 1;
+                    seq += 1;
+                    trips.push(Trip {
+                        trip_id,
+                        vehicle_id: vid,
+                        day,
+                        seq_no: seq,
+                        source_node: from,
+                        target_node: to,
+                        trip,
+                    });
+                }
+            };
+            // Morning commute (7:00–9:00) and evening return (16:30–18:30).
+            let morning = rng.random_range(7.0..9.0);
+            emit(&mut trips, &mut rng, home, work, morning);
+            let evening = rng.random_range(16.5..18.5);
+            emit(&mut trips, &mut rng, work, home, evening);
+            // Evening leisure round trip with probability 0.45 → the
+            // BerlinMOD ≈2.9 trips/vehicle/day average.
+            if rng.random_range(0.0..1.0) < 0.45 {
+                let leisure = rng.random_range(0..net.num_nodes());
+                let out_h = rng.random_range(19.0..20.5);
+                emit(&mut trips, &mut rng, home, leisure, out_h);
+                let back_h = out_h + rng.random_range(1.0..2.0);
+                emit(&mut trips, &mut rng, leisure, home, back_h);
+            }
+        }
+    }
+    (vehicles, trips)
+}
+
+/// Route one trip and synthesize its temporal point: a waypoint at each
+/// path node with edge-speed-derived timestamps (±10% traffic noise).
+fn route_trip(
+    net: &RoadNetwork,
+    rng: &mut StdRng,
+    from: usize,
+    to: usize,
+    day: Date,
+    depart_hour: f64,
+) -> Option<TGeomPoint> {
+    let path = net.shortest_path(from, to);
+    if path.len() < 2 {
+        return None;
+    }
+    let depart =
+        TimestampTz(day.at_midnight().0 + (depart_hour * 3600.0 * USECS_PER_SEC as f64) as i64);
+    let mut points: Vec<(Point, TimestampTz)> = Vec::with_capacity(path.len());
+    let mut t = depart;
+    points.push((net.nodes[path[0]].pos, t));
+    for w in path.windows(2) {
+        let edge = net.edge_between(w[0], w[1])?;
+        let traffic = rng.random_range(0.75..1.1); // congestion slows travel
+        let secs = edge.length_m / (edge.speed_mps * traffic);
+        t = TimestampTz(t.0 + (secs * USECS_PER_SEC as f64).max(1.0) as i64);
+        points.push((net.nodes[w[1]].pos, t));
+    }
+    TGeomPoint::linear_seq(points, crate::network::NETWORK_SRID).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factor_matches_paper_tables() {
+        // Table 3 (benchmark sizes).
+        assert_eq!(ScaleFactor(0.001).num_vehicles(), 63);
+        assert_eq!(ScaleFactor(0.002).num_vehicles(), 89);
+        assert_eq!(ScaleFactor(0.005).num_vehicles(), 141);
+        assert_eq!(ScaleFactor(0.01).num_vehicles(), 200);
+        // Table 2 (dataset sizes).
+        assert_eq!(ScaleFactor(0.01).num_days(), 5);
+        assert_eq!(ScaleFactor(0.02).num_days(), 6);
+        assert_eq!(ScaleFactor(0.05).num_days(), 8);
+        assert_eq!(ScaleFactor(0.1).num_days(), 11);
+        assert_eq!(ScaleFactor(0.02).num_vehicles(), 283);
+        assert_eq!(ScaleFactor(0.05).num_vehicles(), 447);
+        assert_eq!(ScaleFactor(0.1).num_vehicles(), 632);
+    }
+
+    #[test]
+    fn trips_are_generated_and_plausible() {
+        let net = RoadNetwork::generate(42);
+        let (vehicles, trips) = generate_trips(&net, ScaleFactor(0.001), 42);
+        assert_eq!(vehicles.len(), 63);
+        // 63 vehicles × 3 days × ~2.9 trips ≈ 550.
+        let per_vd = trips.len() as f64 / (63.0 * 3.0);
+        assert!((2.2..=3.6).contains(&per_vd), "trips per vehicle-day: {per_vd}");
+        for t in trips.iter().take(50) {
+            assert!(t.trip.temp.num_instants() >= 2);
+            assert!(t.trip.length() > 0.0);
+            // Trips last between a minute and three hours.
+            let dur = t.trip.temp.duration(true).approx_usecs() as f64 / 3.6e9;
+            assert!((0.01..=3.0).contains(&dur), "duration {dur}h");
+            // Average speed is physically plausible (< 70 km/h).
+            let avg_speed =
+                t.trip.length() / (t.trip.temp.duration(true).approx_usecs() as f64 / 1e6);
+            assert!(avg_speed < 20.0, "avg speed {avg_speed} m/s");
+        }
+        // Determinism.
+        let (_, trips2) = generate_trips(&net, ScaleFactor(0.001), 42);
+        assert_eq!(trips.len(), trips2.len());
+        assert_eq!(trips[0].trip, trips2[0].trip);
+    }
+
+    #[test]
+    fn licenses_are_unique() {
+        let net = RoadNetwork::generate(42);
+        let (vehicles, _) = generate_trips(&net, ScaleFactor(0.001), 42);
+        let mut licenses: Vec<&str> = vehicles.iter().map(|v| v.license.as_str()).collect();
+        licenses.sort();
+        licenses.dedup();
+        assert_eq!(licenses.len(), vehicles.len());
+    }
+}

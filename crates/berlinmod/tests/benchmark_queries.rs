@@ -1,0 +1,116 @@
+//! All 17 BerlinMOD-Hanoi benchmark queries, executed on the vectorized
+//! engine (MobilityDuck) and on the row engine with and without indexes
+//! (the paper's two MobilityDB scenarios) — results must agree exactly.
+
+use berlinmod::{benchmark_queries, usecase_queries, BerlinModData, RoadNetwork, ScaleFactor};
+use mduck_rowdb::RowDatabase;
+use quackdb::Database;
+
+struct Rig {
+    vdb: Database,
+    rdb_plain: RowDatabase,
+    rdb_indexed: RowDatabase,
+}
+
+fn rig() -> Rig {
+    let net = RoadNetwork::generate(42);
+    // A reduced scale keeps the three-engine comparison fast in CI; the
+    // bench harness runs the paper's full SF range.
+    let data = BerlinModData::generate(&net, ScaleFactor(0.0003), 42);
+    let vdb = Database::new();
+    mobilityduck::load(&vdb);
+    data.load_into_quack(&vdb).unwrap();
+    let rdb_plain = RowDatabase::new();
+    mobilityduck::load_row(&rdb_plain);
+    data.load_into_row(&rdb_plain, false).unwrap();
+    let rdb_indexed = RowDatabase::new();
+    mobilityduck::load_row(&rdb_indexed);
+    data.load_into_row(&rdb_indexed, true).unwrap();
+    Rig { vdb, rdb_plain, rdb_indexed }
+}
+
+fn rows_of_quack(db: &Database, sql: &str) -> Vec<Vec<String>> {
+    db.execute(sql)
+        .unwrap_or_else(|e| panic!("quackdb failed: {e}\n{sql}"))
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect()
+}
+
+fn rows_of_row(db: &RowDatabase, sql: &str, tag: &str) -> Vec<Vec<String>> {
+    db.execute(sql)
+        .unwrap_or_else(|e| panic!("rowdb ({tag}) failed: {e}\n{sql}"))
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect()
+}
+
+/// Floats can differ in the last ulps between the vectorized and row
+/// paths (different summation orders in aggregates); compare numerically.
+fn rows_equal(a: &[Vec<String>], b: &[Vec<String>]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for (ra, rb) in a.iter().zip(b) {
+        if ra.len() != rb.len() {
+            return false;
+        }
+        for (ca, cb) in ra.iter().zip(rb) {
+            if ca == cb {
+                continue;
+            }
+            match (ca.parse::<f64>(), cb.parse::<f64>()) {
+                (Ok(x), Ok(y)) => {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    if (x - y).abs() / scale > 1e-9 {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[test]
+fn all_17_queries_agree_across_engines_and_scenarios() {
+    let rig = rig();
+    let mut nonempty = 0;
+    for (id, question, sql) in benchmark_queries() {
+        let v = rows_of_quack(&rig.vdb, sql);
+        let p = rows_of_row(&rig.rdb_plain, sql, "plain");
+        let x = rows_of_row(&rig.rdb_indexed, sql, "indexed");
+        assert!(
+            rows_equal(&v, &p),
+            "Q{id} ({question}): quackdb vs rowdb-plain differ\nquack: {v:?}\nrow:   {p:?}"
+        );
+        assert!(
+            rows_equal(&v, &x),
+            "Q{id} ({question}): quackdb vs rowdb-indexed differ\nquack: {v:?}\nrow:   {x:?}"
+        );
+        if !v.is_empty() {
+            nonempty += 1;
+        }
+    }
+    // The workload must actually exercise the operators: the large
+    // majority of queries return rows at this scale.
+    assert!(nonempty >= 12, "only {nonempty}/17 queries returned rows");
+}
+
+#[test]
+fn usecase_queries_run_on_the_vectorized_engine() {
+    let rig = rig();
+    for (name, sql) in usecase_queries() {
+        let rows = rows_of_quack(&rig.vdb, sql);
+        match name {
+            "distance_per_district" | "top6_districts_by_trips" | "all_trajectories"
+            | "trip_crossing_most_districts" => {
+                assert!(!rows.is_empty(), "{name} returned nothing")
+            }
+            _ => {} // close pairs / crossings may legitimately be empty at tiny scale
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The §6.2 data-preparation pipeline: raw per-observation rows
+//! (vehicle, trip, lon, lat, timestamp) are folded into `tgeompoint`
+//! sequences with an aggregate, then into trajectories — exactly the flow
+//! the paper demonstrates through the Python API.
+
+use quackdb::Database;
+
+fn db() -> Database {
+    let db = Database::new();
+    mobilityduck::load(&db);
+    db
+}
+
+#[test]
+fn observations_fold_into_trips_and_trajectories() {
+    let db = db();
+    db.execute(
+        "CREATE TABLE observations(vehicleid INTEGER, tripid INTEGER, \
+         x DOUBLE, y DOUBLE, at TIMESTAMPTZ)",
+    )
+    .unwrap();
+    // Two vehicles, two trips each, out-of-order inserts (the aggregate
+    // must sort by time).
+    db.execute(
+        "INSERT INTO observations VALUES \
+         (1, 1, 10, 0, '2025-01-01 08:10:00'), \
+         (1, 1, 0, 0, '2025-01-01 08:00:00'), \
+         (1, 1, 20, 0, '2025-01-01 08:20:00'), \
+         (1, 2, 20, 0, '2025-01-01 17:00:00'), \
+         (1, 2, 0, 0, '2025-01-01 17:30:00'), \
+         (2, 3, 0, 5, '2025-01-01 08:00:00'), \
+         (2, 3, 20, 5, '2025-01-01 08:30:00')",
+    )
+    .unwrap();
+
+    // Fold into sequences (the tgeompointSeq step of §6.2).
+    db.execute("CREATE TABLE trips(vehicleid INTEGER, tripid INTEGER, trip TGEOMPOINT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO trips \
+         SELECT vehicleid, tripid, tgeompointseq_xy(x, y, at) \
+         FROM observations GROUP BY vehicleid, tripid",
+    )
+    .unwrap();
+    let r = db.execute("SELECT count(*) FROM trips").unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "3");
+
+    // Sequences are time-ordered regardless of insert order.
+    let r = db
+        .execute("SELECT numInstants(trip), length(trip) FROM trips WHERE tripid = 1")
+        .unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "3");
+    assert_eq!(r.rows[0][1].to_string(), "20.0");
+
+    // The trajectory() step.
+    let r = db
+        .execute(
+            "SELECT tripid, ST_AsText(trajectory(trip)) AS traj FROM trips ORDER BY tripid",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][1].to_string(), "LINESTRING(0 0,10 0,20 0)");
+    assert_eq!(r.rows[1][1].to_string(), "LINESTRING(20 0,0 0)");
+
+    // Close-pair analysis over the folded trips (operation 6): vehicles 1
+    // and 2 run parallel 5 apart during trip 1/3.
+    let r = db
+        .execute(
+            "SELECT t1.vehicleid, t2.vehicleid FROM trips t1, trips t2 \
+             WHERE t1.vehicleid < t2.vehicleid AND eDwithin(t1.trip, t2.trip, 5.0) \
+             ORDER BY 1, 2",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    // ... but not within 4.
+    let r = db
+        .execute(
+            "SELECT count(*) FROM trips t1, trips t2 \
+             WHERE t1.vehicleid < t2.vehicleid AND eDwithin(t1.trip, t2.trip, 4.0)",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "0");
+}
+
+#[test]
+fn distance_per_district_query_shape() {
+    // Operation 4's SQL shape: atGeometry + length + GROUP BY, with the
+    // WKB cast of the paper's listing.
+    let db = db();
+    db.execute("CREATE TABLE trips(tripid INTEGER, trip TGEOMPOINT, traj WKB_BLOB)").unwrap();
+    db.execute("CREATE TABLE hanoi(municipalityname VARCHAR, geom WKB_BLOB)").unwrap();
+    db.execute(
+        "INSERT INTO trips SELECT 1, \
+         '[Point(-5 5)@2025-01-01 08:00:00, Point(15 5)@2025-01-01 08:20:00]'::tgeompoint, \
+         trajectory('[Point(-5 5)@2025-01-01 08:00:00, Point(15 5)@2025-01-01 08:20:00]'::tgeompoint)",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO hanoi VALUES \
+         ('West', geometry 'POLYGON((-10 0,0 0,0 10,-10 10,-10 0))'::WKB_BLOB), \
+         ('Center', geometry 'POLYGON((0 0,10 0,10 10,0 10,0 0))'::WKB_BLOB), \
+         ('FarAway', geometry 'POLYGON((100 100,110 100,110 110,100 110,100 100))'::WKB_BLOB)",
+    )
+    .unwrap();
+    let r = db
+        .execute(
+            "SELECT h.municipalityname, \
+                    round((sum(length(atGeometry(t.trip, h.geom))) / 1000), 3) AS total_km \
+             FROM trips t, hanoi h \
+             WHERE ST_Intersects(t.traj, h.geom) \
+             GROUP BY h.municipalityname ORDER BY h.municipalityname",
+        )
+        .unwrap();
+    // The trip spends 5 units in West ([-5,0]) and 10 in Center ([0,10]).
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0][0].to_string(), "Center");
+    assert_eq!(r.rows[0][1].to_string(), "0.01"); // 10 m → 0.010 km
+    assert_eq!(r.rows[1][0].to_string(), "West");
+    assert_eq!(r.rows[1][1].to_string(), "0.005");
+}

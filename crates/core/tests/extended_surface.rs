@@ -1,0 +1,153 @@
+//! Tests for the extended MEOS surface (temporal arithmetic, temporal
+//! comparisons, ever/always, tbool logic, extra accessors).
+
+use quackdb::Database;
+
+fn db() -> Database {
+    let db = Database::new();
+    mobilityduck::load(&db);
+    db
+}
+
+fn scalar(db: &Database, sql: &str) -> String {
+    db.execute(sql)
+        .unwrap_or_else(|e| panic!("{sql} failed: {e}"))
+        .rows[0][0]
+        .to_string()
+}
+
+#[test]
+fn temporal_arithmetic() {
+    let d = db();
+    assert_eq!(
+        scalar(&d, "SELECT tfloat '[1@2025-01-01, 3@2025-01-03]' + 10.0"),
+        "[11@2025-01-01 00:00:00+00, 13@2025-01-03 00:00:00+00]"
+    );
+    assert_eq!(
+        scalar(&d, "SELECT 2.0 * tfloat '[1@2025-01-01, 3@2025-01-03]'"),
+        "[2@2025-01-01 00:00:00+00, 6@2025-01-03 00:00:00+00]"
+    );
+    assert_eq!(
+        scalar(&d, "SELECT tint '{5@2025-01-01, 7@2025-01-02}' + 1"),
+        "{6@2025-01-01 00:00:00+00, 8@2025-01-02 00:00:00+00}"
+    );
+    assert!(d
+        .execute("SELECT tfloat '[1@2025-01-01, 3@2025-01-03]' / 0.0")
+        .is_err());
+    assert_eq!(
+        scalar(&d, "SELECT abs(tfloat '[-4@2025-01-01, 2@2025-01-03]' )"),
+        "[4@2025-01-01 00:00:00+00, 2@2025-01-03 00:00:00+00]"
+    );
+}
+
+#[test]
+fn time_weighted_average() {
+    let d = db();
+    // Linear ramp 0→10 over 2 days: twAvg = 5.
+    assert_eq!(scalar(&d, "SELECT twAvg(tfloat '[0@2025-01-01, 10@2025-01-03]')"), "5.0");
+    // Step: value 2 for 1 day, then 8 for 3 days → (2 + 8*3)/4 = 6.5.
+    assert_eq!(
+        scalar(
+            &d,
+            "SELECT twAvg(tfloat 'Interp=Step;[2@2025-01-01, 8@2025-01-02, 8@2025-01-05]')"
+        ),
+        "6.5"
+    );
+}
+
+#[test]
+fn temporal_comparisons_to_tbool() {
+    let d = db();
+    // Ramp 0→10 crosses 5 midway.
+    let out = scalar(
+        &d,
+        "SELECT whenTrue(tle(tfloat '[0@2025-01-01, 10@2025-01-03]', 5.0))",
+    );
+    assert_eq!(out, "{[2025-01-01 00:00:00+00, 2025-01-02 00:00:00+00]}");
+    let out = scalar(
+        &d,
+        "SELECT whenTrue(tgt(tfloat '[0@2025-01-01, 10@2025-01-03]', 5.0))",
+    );
+    assert_eq!(out, "{(2025-01-02 00:00:00+00, 2025-01-03 00:00:00+00]}");
+}
+
+#[test]
+fn ever_always() {
+    let d = db();
+    assert_eq!(scalar(&d, "SELECT ever_eq(tint '{1@2025-01-01, 2@2025-01-02}', 2)"), "true");
+    assert_eq!(scalar(&d, "SELECT ever_eq(tint '{1@2025-01-01, 2@2025-01-02}', 9)"), "false");
+    assert_eq!(scalar(&d, "SELECT always_eq(tint '{2@2025-01-01, 2@2025-01-02}', 2)"), "true");
+    // Linear tfloat passes through 5 even without an instant there.
+    assert_eq!(
+        scalar(&d, "SELECT ever_eq(tfloat '[0@2025-01-01, 10@2025-01-03]', 5.0)"),
+        "true"
+    );
+    assert_eq!(
+        scalar(&d, "SELECT ever_true(tbool '[f@2025-01-01, t@2025-01-02]')"),
+        "true"
+    );
+    assert_eq!(
+        scalar(&d, "SELECT always_true(tbool '[f@2025-01-01, t@2025-01-02]')"),
+        "false"
+    );
+}
+
+#[test]
+fn tbool_logic() {
+    let d = db();
+    assert_eq!(
+        scalar(
+            &d,
+            "SELECT whenTrue(tand(tbool '[t@2025-01-01, t@2025-01-03]', \
+                                  tbool '[f@2025-01-01, t@2025-01-02, t@2025-01-03]'))"
+        ),
+        "{[2025-01-02 00:00:00+00, 2025-01-03 00:00:00+00]}"
+    );
+    assert_eq!(
+        scalar(&d, "SELECT ever_true(tnot(tbool '[t@2025-01-01, t@2025-01-02]'))"),
+        "false"
+    );
+}
+
+#[test]
+fn extra_accessors() {
+    let d = db();
+    assert_eq!(
+        scalar(&d, "SELECT timestamps(tint '{1@2025-01-01, 2@2025-01-02}')"),
+        "{2025-01-01 00:00:00+00, 2025-01-02 00:00:00+00}"
+    );
+    assert_eq!(
+        scalar(
+            &d,
+            "SELECT numsequences(tfloat '{[1@2025-01-01, 2@2025-01-02], [5@2025-01-04, 5@2025-01-05]}')"
+        ),
+        "2"
+    );
+    assert_eq!(
+        scalar(&d, "SELECT interp(tgeompoint '[Point(0 0)@2025-01-01, Point(1 1)@2025-01-02]')"),
+        "Linear"
+    );
+    assert_eq!(scalar(&d, "SELECT getvalues(tint '{3@2025-01-01, 1@2025-01-02, 3@2025-01-03}')"), "{1, 3}");
+    assert_eq!(
+        scalar(
+            &d,
+            "SELECT ST_AsText(startValue(tgeompoint '[Point(7 8)@2025-01-01, Point(1 1)@2025-01-02]'))"
+        ),
+        "POINT(7 8)"
+    );
+    assert_eq!(scalar(&d, "SELECT width(floatspan '[2, 9]')"), "7.0");
+    assert_eq!(
+        scalar(&d, "SELECT span(tstzset '{2025-01-01, 2025-01-05}')"),
+        "[2025-01-01 00:00:00+00, 2025-01-05 00:00:00+00]"
+    );
+}
+
+#[test]
+fn extended_surface_loads_in_row_engine_too() {
+    let d = mduck_rowdb::RowDatabase::new();
+    mobilityduck::load_row(&d);
+    let r = d
+        .execute("SELECT twAvg(tfloat '[0@2025-01-01, 10@2025-01-03]')")
+        .unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "5.0");
+}

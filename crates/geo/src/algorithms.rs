@@ -1,0 +1,367 @@
+//! Metric and topological algorithms: distance, intersection tests,
+//! point-in-polygon, and segment/polygon clipping (the kernel behind
+//! `atGeometry`, `ST_Intersects`, `ST_Distance`, `eDwithin`).
+
+use crate::geometry::{GeomData, Geometry};
+use crate::point::Point;
+
+/// Distance from point `p` to segment `a`–`b`.
+pub fn point_segment_distance(p: Point, a: Point, b: Point) -> f64 {
+    let ab = b - a;
+    let len_sq = ab.dot(ab);
+    if len_sq == 0.0 {
+        return p.distance(&a);
+    }
+    let t = ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+    p.distance(&a.lerp(&b, t))
+}
+
+/// Squared orientation-robust segment intersection test (closed segments).
+pub fn segments_intersect(p1: Point, p2: Point, q1: Point, q2: Point) -> bool {
+    fn orient(a: Point, b: Point, c: Point) -> f64 {
+        (b - a).cross(c - a)
+    }
+    fn on_segment(a: Point, b: Point, c: Point) -> bool {
+        c.x >= a.x.min(b.x) && c.x <= a.x.max(b.x) && c.y >= a.y.min(b.y) && c.y <= a.y.max(b.y)
+    }
+    let d1 = orient(q1, q2, p1);
+    let d2 = orient(q1, q2, p2);
+    let d3 = orient(p1, p2, q1);
+    let d4 = orient(p1, p2, q2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && on_segment(q1, q2, p1))
+        || (d2 == 0.0 && on_segment(q1, q2, p2))
+        || (d3 == 0.0 && on_segment(p1, p2, q1))
+        || (d4 == 0.0 && on_segment(p1, p2, q2))
+}
+
+/// Minimum distance between two closed segments.
+pub fn segment_segment_distance(p1: Point, p2: Point, q1: Point, q2: Point) -> f64 {
+    if segments_intersect(p1, p2, q1, q2) {
+        return 0.0;
+    }
+    point_segment_distance(p1, q1, q2)
+        .min(point_segment_distance(p2, q1, q2))
+        .min(point_segment_distance(q1, p1, p2))
+        .min(point_segment_distance(q2, p1, p2))
+}
+
+/// Even-odd point-in-polygon over all rings (holes handled by parity).
+/// Points exactly on an edge count as inside.
+pub fn point_in_rings(p: Point, rings: &[Vec<Point>]) -> bool {
+    let mut inside = false;
+    for ring in rings {
+        for w in ring.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // Boundary counts as inside.
+            if point_segment_distance(p, a, b) == 0.0 {
+                return true;
+            }
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+        }
+    }
+    inside
+}
+
+/// True when point `p` lies inside/on geometry `g` (polygon interior counts;
+/// lines and points require exact incidence).
+pub fn geometry_covers_point(g: &Geometry, p: Point) -> bool {
+    match &g.data {
+        GeomData::Point(q) => *q == p,
+        GeomData::MultiPoint(qs) => qs.contains(&p),
+        GeomData::LineString(ps) => {
+            ps.windows(2).any(|w| point_segment_distance(p, w[0], w[1]) == 0.0)
+        }
+        GeomData::MultiLineString(lines) => lines
+            .iter()
+            .any(|ps| ps.windows(2).any(|w| point_segment_distance(p, w[0], w[1]) == 0.0)),
+        GeomData::Polygon(rings) => point_in_rings(p, rings),
+        GeomData::GeometryCollection(gs) => gs.iter().any(|g| geometry_covers_point(g, p)),
+    }
+}
+
+/// Minimum Euclidean distance between two geometries (`ST_Distance`).
+pub fn distance(a: &Geometry, b: &Geometry) -> f64 {
+    // Fast path: bounding-box lower bound can't help without an index, so we
+    // enumerate features. Points and segments cover every supported kind.
+    let mut best = f64::INFINITY;
+
+    // Point-vs-b for all points of a, and segment-vs-segment for all pairs.
+    let mut a_pts: Vec<Point> = Vec::new();
+    a.for_each_point(&mut |p| a_pts.push(p));
+    let mut b_pts: Vec<Point> = Vec::new();
+    b.for_each_point(&mut |p| b_pts.push(p));
+    let mut a_segs: Vec<(Point, Point)> = Vec::new();
+    a.for_each_segment(&mut |p, q| a_segs.push((p, q)));
+    let mut b_segs: Vec<(Point, Point)> = Vec::new();
+    b.for_each_segment(&mut |p, q| b_segs.push((p, q)));
+
+    // Containment: a point of one inside a polygon of the other → 0.
+    for g in a.flatten() {
+        if matches!(g.data, GeomData::Polygon(_)) {
+            if b_pts.iter().any(|p| geometry_covers_point(g, *p)) {
+                return 0.0;
+            }
+        }
+    }
+    for g in b.flatten() {
+        if matches!(g.data, GeomData::Polygon(_)) {
+            if a_pts.iter().any(|p| geometry_covers_point(g, *p)) {
+                return 0.0;
+            }
+        }
+    }
+
+    if a_segs.is_empty() && b_segs.is_empty() {
+        for p in &a_pts {
+            for q in &b_pts {
+                best = best.min(p.distance(q));
+            }
+        }
+        return if best.is_finite() { best } else { f64::NAN };
+    }
+    if a_segs.is_empty() {
+        for p in &a_pts {
+            for (q1, q2) in &b_segs {
+                best = best.min(point_segment_distance(*p, *q1, *q2));
+            }
+            // b may also contain bare points.
+            for q in &b_pts {
+                best = best.min(p.distance(q));
+            }
+        }
+        return best;
+    }
+    if b_segs.is_empty() {
+        return distance(b, a);
+    }
+    for (p1, p2) in &a_segs {
+        for (q1, q2) in &b_segs {
+            best = best.min(segment_segment_distance(*p1, *p2, *q1, *q2));
+            if best == 0.0 {
+                return 0.0;
+            }
+        }
+    }
+    // Isolated points on either side (multipoints inside collections).
+    for p in &a_pts {
+        for (q1, q2) in &b_segs {
+            best = best.min(point_segment_distance(*p, *q1, *q2));
+        }
+    }
+    for q in &b_pts {
+        for (p1, p2) in &a_segs {
+            best = best.min(point_segment_distance(*q, *p1, *p2));
+        }
+    }
+    best
+}
+
+/// Topological intersection test (`ST_Intersects`).
+pub fn intersects(a: &Geometry, b: &Geometry) -> bool {
+    match (a.bounding_rect(), b.bounding_rect()) {
+        (Some(ra), Some(rb)) => {
+            if !ra.intersects(&rb) {
+                return false;
+            }
+        }
+        _ => return false, // an empty geometry intersects nothing
+    }
+    distance(a, b) == 0.0
+}
+
+/// Parameter intervals of segment `a`→`b` (as fractions of [0,1]) that lie
+/// inside polygon `rings`. This is the clipping kernel behind `atGeometry`:
+/// a temporal segment restricted to a district polygon.
+///
+/// Robustness strategy: collect the parameters where the segment crosses any
+/// ring edge, sort them, then classify each sub-interval by testing its
+/// midpoint with even-odd point-in-polygon.
+pub fn clip_segment_to_rings(a: Point, b: Point, rings: &[Vec<Point>]) -> Vec<(f64, f64)> {
+    let mut cuts = vec![0.0, 1.0];
+    let d = b - a;
+    for ring in rings {
+        for w in ring.windows(2) {
+            let (q1, q2) = (w[0], w[1]);
+            let e = q2 - q1;
+            let denom = d.cross(e);
+            if denom != 0.0 {
+                let t = (q1 - a).cross(e) / denom;
+                let u = (q1 - a).cross(d) / denom;
+                if (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&u) {
+                    cuts.push(t);
+                }
+            } else {
+                // Parallel: project endpoints when collinear.
+                if (q1 - a).cross(d) == 0.0 {
+                    let len_sq = d.dot(d);
+                    if len_sq > 0.0 {
+                        for q in [q1, q2] {
+                            let t = (q - a).dot(d) / len_sq;
+                            if (0.0..=1.0).contains(&t) {
+                                cuts.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cuts.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    cuts.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for w in cuts.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        let mid = a.lerp(&b, (t0 + t1) * 0.5);
+        if point_in_rings(mid, rings) {
+            match out.last_mut() {
+                Some(last) if (last.1 - t0).abs() < 1e-12 => last.1 = t1,
+                _ => out.push((t0, t1)),
+            }
+        }
+    }
+    out
+}
+
+/// Collect several geometries into one (`ST_Collect`): points fuse into a
+/// multipoint, linestrings into a multilinestring, anything else into a
+/// geometry collection. The SRID of the first non-zero-SRID member wins.
+pub fn collect(geoms: Vec<Geometry>) -> Geometry {
+    let srid = geoms.iter().map(|g| g.srid).find(|s| *s != 0).unwrap_or(0);
+    let all_points = geoms.iter().all(|g| matches!(g.data, GeomData::Point(_)));
+    if all_points && !geoms.is_empty() {
+        let pts = geoms.iter().filter_map(Geometry::as_point).collect();
+        return Geometry::multipoint(pts).with_srid(srid);
+    }
+    let all_lines = geoms.iter().all(|g| matches!(g.data, GeomData::LineString(_)));
+    if all_lines && !geoms.is_empty() {
+        let lines = geoms
+            .into_iter()
+            .map(|g| match g.data {
+                GeomData::LineString(ps) => ps,
+                _ => unreachable!(),
+            })
+            .collect();
+        return Geometry::multilinestring(lines).with_srid(srid);
+    }
+    Geometry::collection(geoms).with_srid(srid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wkt::parse_wkt;
+
+    fn g(s: &str) -> Geometry {
+        parse_wkt(s).unwrap()
+    }
+
+    #[test]
+    fn point_segment() {
+        let d = point_segment_distance(Point::new(0.0, 1.0), Point::new(-1.0, 0.0), Point::new(1.0, 0.0));
+        assert_eq!(d, 1.0);
+        // Beyond the end: distance to endpoint.
+        let d = point_segment_distance(Point::new(5.0, 0.0), Point::new(-1.0, 0.0), Point::new(1.0, 0.0));
+        assert_eq!(d, 4.0);
+        // Degenerate segment.
+        let d = point_segment_distance(Point::new(3.0, 4.0), Point::ORIGIN, Point::ORIGIN);
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let o = Point::new(0.0, 0.0);
+        assert!(segments_intersect(o, Point::new(2.0, 2.0), Point::new(0.0, 2.0), Point::new(2.0, 0.0)));
+        assert!(!segments_intersect(o, Point::new(1.0, 0.0), Point::new(0.0, 1.0), Point::new(1.0, 1.0)));
+        // Touching at an endpoint counts.
+        assert!(segments_intersect(o, Point::new(1.0, 1.0), Point::new(1.0, 1.0), Point::new(2.0, 0.0)));
+        // Collinear overlap counts.
+        assert!(segments_intersect(o, Point::new(2.0, 0.0), Point::new(1.0, 0.0), Point::new(3.0, 0.0)));
+        // Collinear disjoint does not.
+        assert!(!segments_intersect(o, Point::new(1.0, 0.0), Point::new(2.0, 0.0), Point::new(3.0, 0.0)));
+    }
+
+    #[test]
+    fn point_in_polygon_with_hole() {
+        let rings = match g("POLYGON((0 0,10 0,10 10,0 10,0 0),(4 4,6 4,6 6,4 6,4 4))").data {
+            GeomData::Polygon(r) => r,
+            _ => unreachable!(),
+        };
+        assert!(point_in_rings(Point::new(1.0, 1.0), &rings));
+        assert!(!point_in_rings(Point::new(5.0, 5.0), &rings)); // in the hole
+        assert!(!point_in_rings(Point::new(11.0, 5.0), &rings));
+        assert!(point_in_rings(Point::new(0.0, 5.0), &rings)); // boundary
+    }
+
+    #[test]
+    fn distance_pairs() {
+        assert_eq!(distance(&g("POINT(0 0)"), &g("POINT(3 4)")), 5.0);
+        assert_eq!(distance(&g("POINT(0 1)"), &g("LINESTRING(-1 0,1 0)")), 1.0);
+        assert_eq!(distance(&g("LINESTRING(0 0,2 2)"), &g("LINESTRING(0 2,2 0)")), 0.0);
+        let d = distance(&g("LINESTRING(0 0,1 0)"), &g("LINESTRING(0 2,1 2)"));
+        assert_eq!(d, 2.0);
+        // Point inside polygon → 0.
+        assert_eq!(distance(&g("POINT(5 5)"), &g("POLYGON((0 0,10 0,10 10,0 10,0 0))")), 0.0);
+        // Point outside polygon → distance to boundary.
+        assert_eq!(distance(&g("POINT(15 5)"), &g("POLYGON((0 0,10 0,10 10,0 10,0 0))")), 5.0);
+    }
+
+    #[test]
+    fn intersects_uses_boxes_then_exact() {
+        assert!(intersects(&g("LINESTRING(0 0,2 2)"), &g("LINESTRING(0 2,2 0)")));
+        assert!(!intersects(&g("POINT(0 0)"), &g("POINT(1 0)")));
+        assert!(intersects(&g("POINT(5 5)"), &g("POLYGON((0 0,10 0,10 10,0 10,0 0))")));
+        assert!(!intersects(&g("GEOMETRYCOLLECTION EMPTY"), &g("POINT(0 0)")));
+    }
+
+    #[test]
+    fn clip_segment_through_square() {
+        let rings = match g("POLYGON((0 0,10 0,10 10,0 10,0 0))").data {
+            GeomData::Polygon(r) => r,
+            _ => unreachable!(),
+        };
+        // Segment crossing straight through.
+        let iv = clip_segment_to_rings(Point::new(-5.0, 5.0), Point::new(15.0, 5.0), &rings);
+        assert_eq!(iv.len(), 1);
+        assert!((iv[0].0 - 0.25).abs() < 1e-9 && (iv[0].1 - 0.75).abs() < 1e-9);
+        // Entirely inside.
+        let iv = clip_segment_to_rings(Point::new(1.0, 1.0), Point::new(2.0, 2.0), &rings);
+        assert_eq!(iv, vec![(0.0, 1.0)]);
+        // Entirely outside.
+        let iv = clip_segment_to_rings(Point::new(20.0, 20.0), Point::new(30.0, 30.0), &rings);
+        assert!(iv.is_empty());
+    }
+
+    #[test]
+    fn clip_segment_with_hole() {
+        let rings = match g("POLYGON((0 0,10 0,10 10,0 10,0 0),(4 4,6 4,6 6,4 6,4 4))").data {
+            GeomData::Polygon(r) => r,
+            _ => unreachable!(),
+        };
+        // Crosses the hole: two inside intervals.
+        let iv = clip_segment_to_rings(Point::new(0.0, 5.0), Point::new(10.0, 5.0), &rings);
+        assert_eq!(iv.len(), 2);
+        assert!((iv[0].1 - 0.4).abs() < 1e-9);
+        assert!((iv[1].0 - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collect_fuses_kinds() {
+        let m = collect(vec![g("SRID=4326;POINT(1 1)"), g("POINT(2 2)")]);
+        assert!(matches!(m.data, GeomData::MultiPoint(_)));
+        assert_eq!(m.srid, 4326);
+        let ml = collect(vec![g("LINESTRING(0 0,1 1)"), g("LINESTRING(2 2,3 3)")]);
+        assert!(matches!(ml.data, GeomData::MultiLineString(_)));
+        let c = collect(vec![g("POINT(1 1)"), g("LINESTRING(0 0,1 1)")]);
+        assert!(matches!(c.data, GeomData::GeometryCollection(_)));
+    }
+}

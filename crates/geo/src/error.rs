@@ -1,0 +1,45 @@
+//! Error type shared by every geometry operation.
+
+use std::fmt;
+
+/// Errors produced by parsing, encoding, or operating on geometries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeoError {
+    /// WKT/EWKT text could not be parsed; carries a human-readable reason.
+    ParseWkt(String),
+    /// WKB/EWKB bytes could not be decoded.
+    ParseWkb(String),
+    /// Native (GSERIALIZED-like) bytes could not be decoded.
+    ParseNative(String),
+    /// An operation received a geometry kind it does not support.
+    UnsupportedGeometry(String),
+    /// An SRID transform between the given pair is not available.
+    UnknownTransform { from: i32, to: i32 },
+    /// Operands carry different SRIDs.
+    SridMismatch { left: i32, right: i32 },
+    /// A constructor was handed invalid coordinates (NaN, too few points, ...).
+    InvalidGeometry(String),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::ParseWkt(m) => write!(f, "invalid WKT: {m}"),
+            GeoError::ParseWkb(m) => write!(f, "invalid WKB: {m}"),
+            GeoError::ParseNative(m) => write!(f, "invalid native geometry encoding: {m}"),
+            GeoError::UnsupportedGeometry(m) => write!(f, "unsupported geometry: {m}"),
+            GeoError::UnknownTransform { from, to } => {
+                write!(f, "no transform registered from SRID {from} to SRID {to}")
+            }
+            GeoError::SridMismatch { left, right } => {
+                write!(f, "operands have different SRIDs: {left} vs {right}")
+            }
+            GeoError::InvalidGeometry(m) => write!(f, "invalid geometry: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+/// Convenience alias used across the crate.
+pub type GeoResult<T> = Result<T, GeoError>;

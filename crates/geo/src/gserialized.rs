@@ -1,0 +1,239 @@
+//! A compact native binary encoding standing in for PostGIS `GSERIALIZED`.
+//!
+//! The paper's §6.3 Query 5 optimization replaces WKB round-trips with
+//! functions that keep geometries in MEOS's native serialized form
+//! (`trajectory_gs`, `collect_gs`, `distance_gs`). This module provides that
+//! native form: a header (magic, version, SRID, kind, cached bounding box)
+//! followed by raw coordinate data. The cached box is what makes the `_gs`
+//! path cheap for predicates — deserialization can read the box without
+//! touching the coordinates.
+
+use crate::error::{GeoError, GeoResult};
+use crate::geometry::{GeomData, Geometry};
+use crate::point::{Point, Rect};
+
+const MAGIC: u8 = 0xD7;
+const VERSION: u8 = 1;
+
+/// Encode to the native format.
+pub fn to_native(g: &Geometry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48 + g.num_points() * 16);
+    out.push(MAGIC);
+    out.push(VERSION);
+    out.push(kind_code(g));
+    out.push(0); // reserved / flags
+    out.extend_from_slice(&g.srid.to_le_bytes());
+    let rect = g.bounding_rect().unwrap_or(Rect::new(0.0, 0.0, 0.0, 0.0));
+    for v in [rect.xmin, rect.ymin, rect.xmax, rect.ymax] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    write_data(&mut out, &g.data);
+    out
+}
+
+/// Decode from the native format.
+pub fn from_native(bytes: &[u8]) -> GeoResult<Geometry> {
+    let mut r = NativeReader { bytes, pos: 0 };
+    r.expect_header()?;
+    let kind = r.bytes[2];
+    let srid = i32::from_le_bytes(r.bytes[4..8].try_into().unwrap());
+    r.pos = 8 + 32; // skip header + cached box
+    let data = r.read_data(kind)?;
+    if r.pos != bytes.len() {
+        return Err(GeoError::ParseNative("trailing bytes".into()));
+    }
+    Ok(Geometry { srid, data })
+}
+
+/// Read just the cached bounding box (plus SRID) without decoding
+/// coordinates — the fast path used by index construction.
+pub fn peek_bbox(bytes: &[u8]) -> GeoResult<(i32, Rect)> {
+    if bytes.len() < 40 || bytes[0] != MAGIC || bytes[1] != VERSION {
+        return Err(GeoError::ParseNative("bad header".into()));
+    }
+    let srid = i32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let f = |i: usize| f64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap());
+    Ok((srid, Rect { xmin: f(0), ymin: f(1), xmax: f(2), ymax: f(3) }))
+}
+
+/// True when `bytes` look like the native encoding (vs WKB, whose first byte
+/// is 0 or 1).
+pub fn is_native(bytes: &[u8]) -> bool {
+    bytes.len() >= 40 && bytes[0] == MAGIC && bytes[1] == VERSION
+}
+
+fn kind_code(g: &Geometry) -> u8 {
+    match &g.data {
+        GeomData::Point(_) => 1,
+        GeomData::LineString(_) => 2,
+        GeomData::Polygon(_) => 3,
+        GeomData::MultiPoint(_) => 4,
+        GeomData::MultiLineString(_) => 5,
+        GeomData::GeometryCollection(_) => 7,
+    }
+}
+
+fn write_points(out: &mut Vec<u8>, ps: &[Point]) {
+    out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+    for p in ps {
+        out.extend_from_slice(&p.x.to_le_bytes());
+        out.extend_from_slice(&p.y.to_le_bytes());
+    }
+}
+
+fn write_rings(out: &mut Vec<u8>, rings: &[Vec<Point>]) {
+    out.extend_from_slice(&(rings.len() as u32).to_le_bytes());
+    for r in rings {
+        write_points(out, r);
+    }
+}
+
+fn write_data(out: &mut Vec<u8>, data: &GeomData) {
+    match data {
+        GeomData::Point(p) => {
+            out.extend_from_slice(&p.x.to_le_bytes());
+            out.extend_from_slice(&p.y.to_le_bytes());
+        }
+        GeomData::LineString(ps) | GeomData::MultiPoint(ps) => write_points(out, ps),
+        GeomData::Polygon(rings) | GeomData::MultiLineString(rings) => write_rings(out, rings),
+        GeomData::GeometryCollection(gs) => {
+            out.extend_from_slice(&(gs.len() as u32).to_le_bytes());
+            for g in gs {
+                out.push(kind_code(g));
+                out.extend_from_slice(&g.srid.to_le_bytes());
+                write_data(out, &g.data);
+            }
+        }
+    }
+}
+
+struct NativeReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> NativeReader<'a> {
+    fn expect_header(&self) -> GeoResult<()> {
+        if self.bytes.len() < 40 {
+            return Err(GeoError::ParseNative("too short".into()));
+        }
+        if self.bytes[0] != MAGIC {
+            return Err(GeoError::ParseNative("bad magic".into()));
+        }
+        if self.bytes[1] != VERSION {
+            return Err(GeoError::ParseNative(format!("unknown version {}", self.bytes[1])));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> GeoResult<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(GeoError::ParseNative("unexpected end of input".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> GeoResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> GeoResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn point(&mut self) -> GeoResult<Point> {
+        Ok(Point { x: self.f64()?, y: self.f64()? })
+    }
+
+    fn points(&mut self) -> GeoResult<Vec<Point>> {
+        let n = self.u32()? as usize;
+        if n > self.bytes.len() / 16 + 1 {
+            return Err(GeoError::ParseNative(format!("implausible point count {n}")));
+        }
+        (0..n).map(|_| self.point()).collect()
+    }
+
+    fn rings(&mut self) -> GeoResult<Vec<Vec<Point>>> {
+        let n = self.u32()? as usize;
+        if n > self.bytes.len() / 4 + 1 {
+            return Err(GeoError::ParseNative(format!("implausible ring count {n}")));
+        }
+        (0..n).map(|_| self.points()).collect()
+    }
+
+    fn read_data(&mut self, kind: u8) -> GeoResult<GeomData> {
+        Ok(match kind {
+            1 => GeomData::Point(self.point()?),
+            2 => GeomData::LineString(self.points()?),
+            3 => GeomData::Polygon(self.rings()?),
+            4 => GeomData::MultiPoint(self.points()?),
+            5 => GeomData::MultiLineString(self.rings()?),
+            7 => {
+                let n = self.u32()? as usize;
+                if n > self.bytes.len() {
+                    return Err(GeoError::ParseNative("implausible member count".into()));
+                }
+                let mut gs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = self.take(1)?[0];
+                    let srid = i32::from_le_bytes(self.take(4)?.try_into().unwrap());
+                    let data = self.read_data(k)?;
+                    gs.push(Geometry { srid, data });
+                }
+                GeomData::GeometryCollection(gs)
+            }
+            other => return Err(GeoError::ParseNative(format!("unknown kind {other}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wkt::parse_wkt;
+
+    fn roundtrip(wkt: &str) {
+        let g = parse_wkt(wkt).unwrap();
+        let bytes = to_native(&g);
+        let back = from_native(&bytes).unwrap();
+        assert_eq!(g, back, "roundtrip for {wkt}");
+    }
+
+    #[test]
+    fn native_roundtrips() {
+        roundtrip("POINT(1 2)");
+        roundtrip("SRID=3405;POINT(2.340088 49.400250)");
+        roundtrip("LINESTRING(0 0,1 1,2 0)");
+        roundtrip("POLYGON((0 0,4 0,4 4,0 4,0 0))");
+        roundtrip("MULTIPOINT(1 1,2 2)");
+        roundtrip("MULTILINESTRING((0 0,1 1),(2 2,3 3))");
+        roundtrip("GEOMETRYCOLLECTION(POINT(1 2),LINESTRING(0 0,1 1))");
+    }
+
+    #[test]
+    fn peek_bbox_reads_cached_box() {
+        let g = parse_wkt("SRID=7;LINESTRING(1 2, 5 -3)").unwrap();
+        let bytes = to_native(&g);
+        let (srid, rect) = peek_bbox(&bytes).unwrap();
+        assert_eq!(srid, 7);
+        assert_eq!(rect, Rect::new(1.0, -3.0, 5.0, 2.0));
+    }
+
+    #[test]
+    fn native_detection() {
+        let g = parse_wkt("POINT(1 2)").unwrap();
+        assert!(is_native(&to_native(&g)));
+        assert!(!is_native(&crate::wkb::to_wkb(&g)));
+    }
+
+    #[test]
+    fn corrupt_native_rejected() {
+        let g = parse_wkt("LINESTRING(0 0,1 1)").unwrap();
+        let mut b = to_native(&g);
+        assert!(from_native(&b[..b.len() - 1]).is_err());
+        b[0] = 0;
+        assert!(from_native(&b).is_err());
+    }
+}

@@ -1,0 +1,404 @@
+//! WKT / EWKT parsing and printing.
+//!
+//! Accepts the PostGIS-flavoured grammar the paper's sample queries use:
+//! an optional `SRID=<n>;` prefix followed by a geometry tag and coordinate
+//! lists, case-insensitively (`Point(1 1)` and `POINT(1 1)` both parse).
+
+use crate::error::{GeoError, GeoResult};
+use crate::geometry::{GeomData, Geometry};
+use crate::point::Point;
+use crate::SRID_UNKNOWN;
+
+/// Parse WKT or EWKT (leading `SRID=<n>;` allowed).
+pub fn parse_wkt(input: &str) -> GeoResult<Geometry> {
+    let mut p = WktParser::new(input);
+    let g = p.parse_geometry(SRID_UNKNOWN)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(GeoError::ParseWkt(format!(
+            "trailing input at offset {}: {:?}",
+            p.pos,
+            &p.rest()[..p.rest().len().min(16)]
+        )));
+    }
+    Ok(g)
+}
+
+/// Format as WKT (no SRID prefix). `decimals = None` prints shortest
+/// round-trip representations; `Some(n)` rounds to `n` decimal digits.
+pub fn to_wkt(g: &Geometry, decimals: Option<usize>) -> String {
+    let mut s = String::with_capacity(32);
+    write_geom(&mut s, g, decimals);
+    s
+}
+
+/// Format as EWKT: `SRID=<n>;<wkt>` when the SRID is known, plain WKT
+/// otherwise.
+pub fn to_ewkt(g: &Geometry, decimals: Option<usize>) -> String {
+    if g.srid != SRID_UNKNOWN {
+        format!("SRID={};{}", g.srid, to_wkt(g, decimals))
+    } else {
+        to_wkt(g, decimals)
+    }
+}
+
+/// Print one coordinate with the requested precision, trimming trailing
+/// zeros the way PostGIS does.
+pub fn fmt_coord(v: f64, decimals: Option<usize>) -> String {
+    match decimals {
+        None => {
+            if v == v.trunc() && v.abs() < 1e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        Some(d) => {
+            let s = format!("{v:.d$}", d = d);
+            if s.contains('.') {
+                let t = s.trim_end_matches('0').trim_end_matches('.');
+                // Avoid "-0" after trimming.
+                if t == "-0" { "0".to_string() } else { t.to_string() }
+            } else {
+                s
+            }
+        }
+    }
+}
+
+fn write_pt(out: &mut String, p: &Point, decimals: Option<usize>) {
+    out.push_str(&fmt_coord(p.x, decimals));
+    out.push(' ');
+    out.push_str(&fmt_coord(p.y, decimals));
+}
+
+fn write_pts(out: &mut String, ps: &[Point], decimals: Option<usize>) {
+    out.push('(');
+    for (i, p) in ps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_pt(out, p, decimals);
+    }
+    out.push(')');
+}
+
+fn write_geom(out: &mut String, g: &Geometry, decimals: Option<usize>) {
+    match &g.data {
+        GeomData::Point(p) => {
+            out.push_str("POINT(");
+            write_pt(out, p, decimals);
+            out.push(')');
+        }
+        GeomData::LineString(ps) => {
+            out.push_str("LINESTRING");
+            write_pts(out, ps, decimals);
+        }
+        GeomData::MultiPoint(ps) => {
+            out.push_str("MULTIPOINT");
+            write_pts(out, ps, decimals);
+        }
+        GeomData::Polygon(rings) => {
+            out.push_str("POLYGON(");
+            for (i, r) in rings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_pts(out, r, decimals);
+            }
+            out.push(')');
+        }
+        GeomData::MultiLineString(lines) => {
+            out.push_str("MULTILINESTRING(");
+            for (i, r) in lines.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_pts(out, r, decimals);
+            }
+            out.push(')');
+        }
+        GeomData::GeometryCollection(gs) => {
+            if gs.is_empty() {
+                out.push_str("GEOMETRYCOLLECTION EMPTY");
+            } else {
+                out.push_str("GEOMETRYCOLLECTION(");
+                for (i, child) in gs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_geom(out, child, decimals);
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+struct WktParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> WktParser<'a> {
+    fn new(src: &'a str) -> Self {
+        WktParser { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: char) -> GeoResult<()> {
+        self.skip_ws();
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(GeoError::ParseWkt(format!(
+                "expected {c:?} at offset {}, found {:?}",
+                self.pos,
+                self.rest().chars().next()
+            )))
+        }
+    }
+
+    fn try_eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_ascii_alphabetic() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.pos].to_ascii_uppercase()
+    }
+
+    fn number(&mut self) -> GeoResult<f64> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        if self.pos < bytes.len() && (bytes[self.pos] == b'-' || bytes[self.pos] == b'+') {
+            self.pos += 1;
+        }
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_digit()
+                || bytes[self.pos] == b'.'
+                || bytes[self.pos] == b'e'
+                || bytes[self.pos] == b'E'
+                || ((bytes[self.pos] == b'-' || bytes[self.pos] == b'+')
+                    && self.pos > start
+                    && (bytes[self.pos - 1] == b'e' || bytes[self.pos - 1] == b'E')))
+        {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse::<f64>()
+            .map_err(|_| GeoError::ParseWkt(format!("bad number at offset {start}")))
+    }
+
+    fn point_coords(&mut self) -> GeoResult<Point> {
+        let x = self.number()?;
+        let y = self.number()?;
+        Ok(Point::new(x, y))
+    }
+
+    fn point_list(&mut self) -> GeoResult<Vec<Point>> {
+        self.eat('(')?;
+        let mut pts = vec![self.point_coords()?];
+        while self.try_eat(',') {
+            pts.push(self.point_coords()?);
+        }
+        self.eat(')')?;
+        Ok(pts)
+    }
+
+    fn ring_list(&mut self) -> GeoResult<Vec<Vec<Point>>> {
+        self.eat('(')?;
+        let mut rings = vec![self.point_list()?];
+        while self.try_eat(',') {
+            rings.push(self.point_list()?);
+        }
+        self.eat(')')?;
+        Ok(rings)
+    }
+
+    fn parse_geometry(&mut self, inherited_srid: i32) -> GeoResult<Geometry> {
+        self.skip_ws();
+        let mut srid = inherited_srid;
+        if self.rest().len() >= 5 && self.rest()[..5].eq_ignore_ascii_case("srid=") {
+            self.pos += 5;
+            let v = self.number()?;
+            srid = v as i32;
+            self.eat(';')?;
+        }
+        let tag = self.ident();
+        let g = match tag.as_str() {
+            "POINT" => {
+                self.eat('(')?;
+                let p = self.point_coords()?;
+                self.eat(')')?;
+                Geometry { srid, data: GeomData::Point(p) }
+            }
+            "LINESTRING" => {
+                let pts = self.point_list()?;
+                if pts.len() < 2 {
+                    return Err(GeoError::ParseWkt("linestring needs ≥2 points".into()));
+                }
+                Geometry { srid, data: GeomData::LineString(pts) }
+            }
+            "MULTIPOINT" => {
+                // Accept both MULTIPOINT(1 1, 2 2) and MULTIPOINT((1 1),(2 2)).
+                self.eat('(')?;
+                self.skip_ws();
+                let nested = self.rest().starts_with('(');
+                let mut pts = Vec::new();
+                loop {
+                    if nested {
+                        self.eat('(')?;
+                        pts.push(self.point_coords()?);
+                        self.eat(')')?;
+                    } else {
+                        pts.push(self.point_coords()?);
+                    }
+                    if !self.try_eat(',') {
+                        break;
+                    }
+                }
+                self.eat(')')?;
+                Geometry { srid, data: GeomData::MultiPoint(pts) }
+            }
+            "POLYGON" => {
+                let rings = self.ring_list()?;
+                Geometry::polygon(rings)?.with_srid(srid)
+            }
+            "MULTILINESTRING" => {
+                let lines = self.ring_list()?;
+                Geometry { srid, data: GeomData::MultiLineString(lines) }
+            }
+            "GEOMETRYCOLLECTION" => {
+                self.skip_ws();
+                if self.rest().to_ascii_uppercase().starts_with("EMPTY") {
+                    self.pos += 5;
+                    Geometry { srid, data: GeomData::GeometryCollection(vec![]) }
+                } else {
+                    self.eat('(')?;
+                    let mut gs = vec![self.parse_geometry(srid)?];
+                    while self.try_eat(',') {
+                        gs.push(self.parse_geometry(srid)?);
+                    }
+                    self.eat(')')?;
+                    Geometry { srid, data: GeomData::GeometryCollection(gs) }
+                }
+            }
+            other => {
+                return Err(GeoError::ParseWkt(format!("unknown geometry tag {other:?}")));
+            }
+        };
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_point_roundtrip() {
+        let g = parse_wkt("Point(1 1)").unwrap();
+        assert_eq!(g.as_point().unwrap(), Point::new(1.0, 1.0));
+        assert_eq!(to_wkt(&g, None), "POINT(1 1)");
+    }
+
+    #[test]
+    fn parse_ewkt_srid() {
+        let g = parse_wkt("SRID=4326;Point(2.340088 49.400250)").unwrap();
+        assert_eq!(g.srid, 4326);
+        assert_eq!(to_ewkt(&g, None), "SRID=4326;POINT(2.340088 49.40025)");
+    }
+
+    #[test]
+    fn parse_linestring() {
+        let g = parse_wkt("LINESTRING(0 0, 1 1, 2 0)").unwrap();
+        assert_eq!(g.num_points(), 3);
+        assert_eq!(to_wkt(&g, None), "LINESTRING(0 0,1 1,2 0)");
+    }
+
+    #[test]
+    fn parse_polygon_with_hole() {
+        let g = parse_wkt(
+            "POLYGON((0 0, 10 0, 10 10, 0 10, 0 0),(4 4, 6 4, 6 6, 4 6, 4 4))",
+        )
+        .unwrap();
+        match &g.data {
+            GeomData::Polygon(rings) => assert_eq!(rings.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_multipoint_both_syntaxes() {
+        let a = parse_wkt("MULTIPOINT(1 1, 2 2)").unwrap();
+        let b = parse_wkt("MULTIPOINT((1 1),(2 2))").unwrap();
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn parse_collection() {
+        let g = parse_wkt("GEOMETRYCOLLECTION(POINT(1 2),LINESTRING(0 0,1 1))").unwrap();
+        assert_eq!(g.flatten().len(), 2);
+        assert_eq!(
+            to_wkt(&g, None),
+            "GEOMETRYCOLLECTION(POINT(1 2),LINESTRING(0 0,1 1))"
+        );
+        assert_eq!(to_wkt(&Geometry::collection(vec![]), None), "GEOMETRYCOLLECTION EMPTY");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_wkt("POINT(1 1) x").is_err());
+        assert!(parse_wkt("CIRCLE(1 1)").is_err());
+        assert!(parse_wkt("POINT(1)").is_err());
+    }
+
+    #[test]
+    fn fmt_coord_precision() {
+        assert_eq!(fmt_coord(502773.429981234, Some(6)), "502773.429981");
+        assert_eq!(fmt_coord(1.5, None), "1.5");
+        assert_eq!(fmt_coord(3.0, None), "3");
+        assert_eq!(fmt_coord(2.5000, Some(6)), "2.5");
+        assert_eq!(fmt_coord(-0.0000001, Some(3)), "0");
+    }
+
+    #[test]
+    fn scientific_notation_accepted() {
+        let g = parse_wkt("POINT(1e3 -2.5E-2)").unwrap();
+        assert_eq!(g.as_point().unwrap(), Point::new(1000.0, -0.025));
+    }
+}

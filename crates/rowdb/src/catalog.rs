@@ -1,0 +1,113 @@
+//! Row-oriented heap tables (the PostgreSQL storage substrate).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mduck_sql::{Catalog, LogicalType, SqlError, SqlResult, Value};
+
+use crate::index::RowIndex;
+
+/// A heap table: rows stored row-major, as in a row store.
+pub struct HeapTable {
+    pub name: String,
+    pub column_names: Vec<String>,
+    pub column_types: Vec<LogicalType>,
+    pub rows: Vec<Vec<Value>>,
+    pub indexes: Vec<Box<dyn RowIndex>>,
+}
+
+impl HeapTable {
+    pub fn new(name: String, columns: Vec<(String, LogicalType)>) -> Self {
+        HeapTable {
+            name,
+            column_names: columns.iter().map(|(n, _)| n.to_ascii_lowercase()).collect(),
+            column_types: columns.into_iter().map(|(_, t)| t).collect(),
+            rows: Vec::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.column_names.iter().position(|n| *n == lname)
+    }
+
+    pub fn append_rows(&mut self, rows: Vec<Vec<Value>>) -> SqlResult<()> {
+        let first = self.rows.len() as u64;
+        for row in &rows {
+            if row.len() != self.column_names.len() {
+                return Err(SqlError::execution(format!(
+                    "INSERT has {} values, table {} has {} columns",
+                    row.len(),
+                    self.name,
+                    self.column_names.len()
+                )));
+            }
+        }
+        for index in &mut self.indexes {
+            let col = index.column();
+            let values: Vec<Value> = rows.iter().map(|r| r[col].clone()).collect();
+            index.append(&values, first)?;
+        }
+        self.rows.extend(rows);
+        Ok(())
+    }
+}
+
+/// The row-store catalog.
+#[derive(Default, Clone)]
+pub struct RowCatalog {
+    tables: Arc<RwLock<HashMap<String, Arc<RwLock<HeapTable>>>>>,
+}
+
+impl RowCatalog {
+    pub fn create_table(
+        &self,
+        name: &str,
+        columns: Vec<(String, LogicalType)>,
+        if_not_exists: bool,
+    ) -> SqlResult<()> {
+        let lname = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&lname) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(SqlError::Catalog(format!("table {name:?} already exists")));
+        }
+        tables.insert(lname.clone(), Arc::new(RwLock::new(HeapTable::new(lname, columns))));
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> SqlResult<()> {
+        let lname = name.to_ascii_lowercase();
+        if self.tables.write().remove(&lname).is_none() && !if_exists {
+            return Err(SqlError::Catalog(format!("table {name:?} does not exist")));
+        }
+        Ok(())
+    }
+
+    pub fn get(&self, name: &str) -> SqlResult<Arc<RwLock<HeapTable>>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| SqlError::Catalog(format!("table {name:?} does not exist")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl Catalog for RowCatalog {
+    fn table_schema(&self, name: &str) -> Option<Vec<(String, LogicalType)>> {
+        let t = self.tables.read().get(&name.to_ascii_lowercase())?.clone();
+        let t = t.read();
+        Some(t.column_names.iter().cloned().zip(t.column_types.iter().cloned()).collect())
+    }
+}

@@ -1,0 +1,368 @@
+//! The row-store database instance (the PostgreSQL/MobilityDB analogue).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mduck_sql::ast::{InsertSource, Statement};
+use mduck_sql::eval::{eval, OuterStack};
+use mduck_sql::{
+    parse_statement, Binder, Catalog, LogicalType, Registry, Schema, SqlError, SqlResult, Value,
+};
+
+use crate::catalog::RowCatalog;
+use crate::exec::{execute_select, RowCtx};
+use crate::index::{BTreeIndexType, RowIndexRegistry};
+
+/// A query result (same shape as quackdb's for easy comparison testing).
+#[derive(Debug, Clone)]
+pub struct RowQueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// An in-process row-store database.
+pub struct RowDatabase {
+    pub catalog: RowCatalog,
+    registry: Arc<RwLock<Registry>>,
+    index_types: Arc<RwLock<RowIndexRegistry>>,
+}
+
+impl Default for RowDatabase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RowDatabase {
+    pub fn new() -> Self {
+        let mut index_types = RowIndexRegistry::default();
+        index_types.register(Arc::new(BTreeIndexType));
+        RowDatabase {
+            catalog: RowCatalog::default(),
+            registry: Arc::new(RwLock::new(Registry::with_builtins())),
+            index_types: Arc::new(RwLock::new(index_types)),
+        }
+    }
+
+    pub fn registry_mut(&self) -> parking_lot::RwLockWriteGuard<'_, Registry> {
+        self.registry.write()
+    }
+
+    pub fn registry(&self) -> parking_lot::RwLockReadGuard<'_, Registry> {
+        self.registry.read()
+    }
+
+    pub fn index_types_mut(&self) -> parking_lot::RwLockWriteGuard<'_, RowIndexRegistry> {
+        self.index_types.write()
+    }
+
+    pub fn execute(&self, sql: &str) -> SqlResult<RowQueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    pub fn execute_script(&self, sql: &str) -> SqlResult<RowQueryResult> {
+        let stmts = mduck_sql::parse_script(sql)?;
+        let mut last = RowQueryResult { schema: Schema::default(), rows: Vec::new() };
+        for s in &stmts {
+            last = self.execute_statement(s)?;
+        }
+        Ok(last)
+    }
+
+    pub fn execute_statement(&self, stmt: &Statement) -> SqlResult<RowQueryResult> {
+        match stmt {
+            Statement::Select(sel) => {
+                let registry = self.registry.read();
+                let mut binder = Binder::new(&self.catalog, &registry);
+                let plan = binder.bind_select(sel)?;
+                let ctx = RowCtx::new(&self.catalog, &registry);
+                let rows = execute_select(&ctx, &plan, &OuterStack::EMPTY)?;
+                Ok(RowQueryResult { schema: plan.output_schema, rows })
+            }
+            Statement::Explain(inner) => {
+                // PostgreSQL-style indented text plan.
+                let Statement::Select(sel) = inner.as_ref() else {
+                    return Err(SqlError::Bind("EXPLAIN supports SELECT".into()));
+                };
+                let registry = self.registry.read();
+                let mut binder = Binder::new(&self.catalog, &registry);
+                let plan = binder.bind_select(sel)?;
+                let ctx = RowCtx::new(&self.catalog, &registry);
+                let text = crate::exec::explain_select(&ctx, &plan)?;
+                Ok(RowQueryResult {
+                    schema: Schema::new(vec![mduck_sql::Field {
+                        name: "explain".into(),
+                        table: None,
+                        ty: LogicalType::Text,
+                    }]),
+                    rows: vec![vec![Value::text(text)]],
+                })
+            }
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                let registry = self.registry.read();
+                let mut cols = Vec::with_capacity(columns.len());
+                for (cname, tname) in columns {
+                    cols.push((cname.clone(), registry.resolve_type(tname)?));
+                }
+                self.catalog.create_table(name, cols, *if_not_exists)?;
+                Ok(RowQueryResult { schema: Schema::default(), rows: Vec::new() })
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(name, *if_exists)?;
+                Ok(RowQueryResult { schema: Schema::default(), rows: Vec::new() })
+            }
+            Statement::CreateIndex { name, table, method, column } => {
+                self.create_index(name, table, method, column)?;
+                Ok(RowQueryResult { schema: Schema::default(), rows: Vec::new() })
+            }
+            Statement::Insert { table, columns, source } => {
+                let n = self.insert(table, columns.as_deref(), source)?;
+                Ok(RowQueryResult {
+                    schema: Schema::default(),
+                    rows: vec![vec![Value::Int(n as i64)]],
+                })
+            }
+            Statement::Update { table, sets, where_clause } => {
+                let n = self.update(table, sets, where_clause.as_ref())?;
+                Ok(RowQueryResult {
+                    schema: Schema::default(),
+                    rows: vec![vec![Value::Int(n as i64)]],
+                })
+            }
+            Statement::Delete { table, where_clause } => {
+                let n = self.delete(table, where_clause.as_ref())?;
+                Ok(RowQueryResult {
+                    schema: Schema::default(),
+                    rows: vec![vec![Value::Int(n as i64)]],
+                })
+            }
+        }
+    }
+
+    fn create_index(&self, name: &str, table: &str, method: &str, column: &str) -> SqlResult<()> {
+        let method = if method.is_empty() { "BTREE".to_string() } else { method.to_uppercase() };
+        let index_type = self
+            .index_types
+            .read()
+            .get(&method)
+            .ok_or_else(|| SqlError::Catalog(format!("unknown index method {method:?}")))?;
+        let t = self.catalog.get(table)?;
+        let mut t = t.write();
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| SqlError::Catalog(format!("no column {column:?} in {table:?}")))?;
+        let ty = t.column_types[col].clone();
+        if !index_type.can_index(&ty) {
+            return Err(SqlError::Catalog(format!(
+                "index method {method} cannot index type {}",
+                ty.name()
+            )));
+        }
+        if t.indexes.iter().any(|i| i.name() == name) {
+            return Err(SqlError::Catalog(format!("index {name:?} already exists")));
+        }
+        let existing: Vec<Value> = t.rows.iter().map(|r| r[col].clone()).collect();
+        let index = index_type.create(name, col, &ty, &existing)?;
+        t.indexes.push(index);
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+    ) -> SqlResult<usize> {
+        let registry = self.registry.read();
+        let incoming: Vec<Vec<Value>> = match source {
+            InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        let bound =
+                            mduck_sql::binder::bind_constant_expr(e, &self.catalog, &registry)?;
+                        vals.push(eval(
+                            &bound,
+                            &[],
+                            &OuterStack::EMPTY,
+                            &mduck_sql::eval::NoSubqueries,
+                        )?);
+                    }
+                    out.push(vals);
+                }
+                out
+            }
+            InsertSource::Select(sel) => {
+                let mut binder = Binder::new(&self.catalog, &registry);
+                let plan = binder.bind_select(sel)?;
+                let ctx = RowCtx::new(&self.catalog, &registry);
+                execute_select(&ctx, &plan, &OuterStack::EMPTY)?
+            }
+        };
+        let t = self.catalog.get(table)?;
+        let mut t = t.write();
+        let rows = match columns {
+            None => incoming,
+            Some(cols) => {
+                let mut mapping = Vec::with_capacity(cols.len());
+                for c in cols {
+                    mapping.push(
+                        t.column_index(c)
+                            .ok_or_else(|| SqlError::Catalog(format!("no column {c:?}")))?,
+                    );
+                }
+                let width = t.column_names.len();
+                incoming
+                    .into_iter()
+                    .map(|row| {
+                        let mut full = vec![Value::Null; width];
+                        for (v, &dst) in row.into_iter().zip(&mapping) {
+                            full[dst] = v;
+                        }
+                        full
+                    })
+                    .collect()
+            }
+        };
+        // Implicit assignment casts to the column types.
+        let types = t.column_types.clone();
+        let mut coerced = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut cr = Vec::with_capacity(row.len());
+            for (v, ty) in row.into_iter().zip(&types) {
+                if v.is_null() || &v.logical_type() == ty || v.logical_type().coercible_to(ty) {
+                    cr.push(v);
+                } else if let Some(cast) = registry.resolve_cast(&v.logical_type(), ty) {
+                    cr.push(cast(&[v])?);
+                } else {
+                    cr.push(v);
+                }
+            }
+            coerced.push(cr);
+        }
+        let n = coerced.len();
+        t.append_rows(coerced)?;
+        Ok(n)
+    }
+
+    fn bind_table_schema(&self, table: &str) -> SqlResult<Schema> {
+        let cols = self
+            .catalog
+            .table_schema(table)
+            .ok_or_else(|| SqlError::Catalog(format!("table {table:?} does not exist")))?;
+        Ok(Schema::new(
+            cols.into_iter()
+                .map(|(n, ty)| mduck_sql::Field {
+                    name: n,
+                    table: Some(table.to_ascii_lowercase()),
+                    ty,
+                })
+                .collect(),
+        ))
+    }
+
+    fn update(
+        &self,
+        table: &str,
+        sets: &[(String, mduck_sql::Expr)],
+        where_clause: Option<&mduck_sql::Expr>,
+    ) -> SqlResult<usize> {
+        let registry = self.registry.read();
+        let schema = self.bind_table_schema(table)?;
+        let mut binder = Binder::new(&self.catalog, &registry);
+        let bound_sets: SqlResult<Vec<(usize, mduck_sql::BoundExpr)>> = sets
+            .iter()
+            .map(|(col, e)| {
+                let idx = schema
+                    .resolve(None, &col.to_ascii_lowercase())
+                    .map_err(|_| SqlError::Catalog(format!("no column {col:?}")))?;
+                Ok((idx, binder.bind_expr(e, &schema)?))
+            })
+            .collect();
+        let bound_sets = bound_sets?;
+        let bound_where = match where_clause {
+            Some(w) => Some(binder.bind_expr(w, &schema)?),
+            None => None,
+        };
+        let t = self.catalog.get(table)?;
+        let mut t = t.write();
+        let no_sub = mduck_sql::eval::NoSubqueries;
+        let mut updated = 0;
+        for i in 0..t.rows.len() {
+            let row = t.rows[i].clone();
+            if let Some(w) = &bound_where {
+                if !matches!(eval(w, &row, &OuterStack::EMPTY, &no_sub)?, Value::Bool(true)) {
+                    continue;
+                }
+            }
+            for (col, e) in &bound_sets {
+                t.rows[i][*col] = eval(e, &row, &OuterStack::EMPTY, &no_sub)?;
+            }
+            updated += 1;
+        }
+        // Rebuild indexes over updated columns.
+        self.rebuild_indexes(&mut t, &bound_sets.iter().map(|(c, _)| *c).collect::<Vec<_>>())?;
+        Ok(updated)
+    }
+
+    fn delete(&self, table: &str, where_clause: Option<&mduck_sql::Expr>) -> SqlResult<usize> {
+        let registry = self.registry.read();
+        let schema = self.bind_table_schema(table)?;
+        let mut binder = Binder::new(&self.catalog, &registry);
+        let bound_where = match where_clause {
+            Some(w) => Some(binder.bind_expr(w, &schema)?),
+            None => None,
+        };
+        let t = self.catalog.get(table)?;
+        let mut t = t.write();
+        let no_sub = mduck_sql::eval::NoSubqueries;
+        let before = t.rows.len();
+        let mut kept = Vec::with_capacity(before);
+        for row in std::mem::take(&mut t.rows) {
+            let delete = match &bound_where {
+                Some(w) => {
+                    matches!(eval(w, &row, &OuterStack::EMPTY, &no_sub)?, Value::Bool(true))
+                }
+                None => true,
+            };
+            if !delete {
+                kept.push(row);
+            }
+        }
+        t.rows = kept;
+        let all: Vec<usize> = (0..t.column_names.len()).collect();
+        self.rebuild_indexes(&mut t, &all)?;
+        Ok(before - t.rows.len())
+    }
+
+    fn rebuild_indexes(
+        &self,
+        t: &mut crate::catalog::HeapTable,
+        cols: &[usize],
+    ) -> SqlResult<()> {
+        let index_types = self.index_types.read();
+        let affected: Vec<usize> = t
+            .indexes
+            .iter()
+            .enumerate()
+            .filter(|(_, idx)| cols.contains(&idx.column()))
+            .map(|(i, _)| i)
+            .collect();
+        for i in affected {
+            let (name, method, col) = {
+                let idx = &t.indexes[i];
+                (idx.name().to_string(), idx.method().to_string(), idx.column())
+            };
+            let ty = t.column_types[col].clone();
+            let it = index_types
+                .get(&method)
+                .ok_or_else(|| SqlError::Catalog(format!("index method {method} vanished")))?;
+            let values: Vec<Value> = t.rows.iter().map(|r| r[col].clone()).collect();
+            t.indexes[i] = it.create(&name, col, &ty, &values)?;
+        }
+        Ok(())
+    }
+}

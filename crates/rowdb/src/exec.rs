@@ -1,0 +1,830 @@
+//! Row-at-a-time execution of bound plans — the PostgreSQL-style baseline.
+//!
+//! Every operator processes one `Vec<Value>` row at a time through the
+//! shared tree-walking evaluator (no vectorized fast paths, no columnar
+//! gathers). The planner mirrors PostgreSQL's choices: hash joins for
+//! equality conjuncts, and — when indexes exist (the paper's "MobilityDB
+//! with indexes" scenario) — index scans for single-table predicates and
+//! GiST-style index nested-loop joins for spatiotemporal join predicates
+//! like Q10's `t2.Trip && expandSpace(t1.trip::STBOX, 3.0)`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mduck_sql::ast::BinaryOp;
+use mduck_sql::eval::{eval, OuterStack, SubqueryExec};
+use mduck_sql::{
+    split_conjuncts, BoundExpr, BoundFrom, BoundSelect, Registry, SortKey, SqlError, SqlResult,
+    Value,
+};
+
+use crate::catalog::RowCatalog;
+
+type Row = Vec<Value>;
+
+/// Execution context for one statement.
+pub struct RowCtx<'a> {
+    pub catalog: &'a RowCatalog,
+    pub registry: &'a Registry,
+    pub ctes: RefCell<HashMap<usize, Arc<Vec<Row>>>>,
+    pub rows_scanned: RefCell<usize>,
+    pub used_index: RefCell<bool>,
+}
+
+impl<'a> RowCtx<'a> {
+    pub fn new(catalog: &'a RowCatalog, registry: &'a Registry) -> Self {
+        RowCtx {
+            catalog,
+            registry,
+            ctes: RefCell::new(HashMap::new()),
+            rows_scanned: RefCell::new(0),
+            used_index: RefCell::new(false),
+        }
+    }
+}
+
+struct RowExecutor<'a, 'b> {
+    ctx: &'b RowCtx<'a>,
+}
+
+impl SubqueryExec for RowExecutor<'_, '_> {
+    fn execute(&self, plan: &BoundSelect, outer: &OuterStack<'_>) -> SqlResult<Vec<Row>> {
+        execute_select(self.ctx, plan, outer)
+    }
+}
+
+/// Tuple deforming + detoasting, as PostgreSQL performs on every heap
+/// tuple access: extension values are materialized from their wire format
+/// (the varlena/BLOB form MobilityDB stores) before the executor touches
+/// them. The columnar engine does not pay this — DuckDB hands the flat
+/// in-memory representation straight to MEOS — which is one of the
+/// engine-level asymmetries Figure 12 measures.
+fn detoast_row(ctx: &RowCtx<'_>, row: &Row) -> SqlResult<Row> {
+    let mut out = Vec::with_capacity(row.len());
+    for v in row {
+        match v {
+            Value::Ext(e) => match ctx.registry.ext_codec(e.type_name()) {
+                Some(dec) => out.push(dec(&e.obj.to_bytes())?),
+                None => out.push(v.clone()),
+            },
+            other => out.push(other.clone()),
+        }
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------ planning
+
+/// A relation source with pushed-down predicates.
+enum Source {
+    Table { name: String, filters: Vec<BoundExpr>, index_probe: Option<(String, Value, BoundExpr)> },
+    Cte { index: usize },
+    Subquery { plan: Box<BoundSelect> },
+    Series { args: Vec<BoundExpr> },
+}
+
+/// How the next relation joins onto the accumulated left side.
+enum JoinStrategy {
+    /// Hash join on equality keys (right keys remapped locally).
+    Hash { left_keys: Vec<BoundExpr>, right_keys: Vec<BoundExpr> },
+    /// GiST index nested loop: probe the right table's index with an
+    /// expression over the left row.
+    IndexNl { op: String, probe: BoundExpr, original: BoundExpr },
+    /// Plain nested loop (cross product).
+    Cross,
+}
+
+struct JoinStep {
+    source: Source,
+    strategy: JoinStrategy,
+    /// Conjuncts applicable once this relation is joined (global indices).
+    post_filters: Vec<BoundExpr>,
+}
+
+struct RowPlan {
+    first: Source,
+    steps: Vec<JoinStep>,
+    /// Predicates left for the very top (subquery-bearing etc.).
+    remaining: Vec<BoundExpr>,
+}
+
+fn plan_rows(ctx: &RowCtx<'_>, plan: &BoundSelect) -> SqlResult<RowPlan> {
+    let mut offsets = Vec::with_capacity(plan.from.len());
+    let mut acc = 0usize;
+    for f in &plan.from {
+        offsets.push(acc);
+        acc += f.schema().len();
+    }
+    let widths: Vec<usize> = plan.from.iter().map(|f| f.schema().len()).collect();
+
+    let mut conjuncts = Vec::new();
+    if let Some(f) = &plan.filter {
+        split_conjuncts(f, &mut conjuncts);
+    }
+    let mut used = vec![false; conjuncts.len()];
+
+    // Per-relation local predicates (remapped) + optional index probe.
+    // Only base tables receive pushdown; predicates over CTE/subquery/
+    // series sources are applied as post-join filters (they stay correct
+    // because the accumulated row keeps global column positions).
+    let mut sources: Vec<Source> = Vec::new();
+    for (ri, f) in plan.from.iter().enumerate() {
+        let (lo, hi) = (offsets[ri], offsets[ri] + widths[ri]);
+        let mut local: Vec<(usize, BoundExpr)> = Vec::new();
+        if matches!(f, BoundFrom::Table { .. }) {
+            for (ci, c) in conjuncts.iter().enumerate() {
+                if used[ci] || c.is_complex() {
+                    continue;
+                }
+                let mut cols = Vec::new();
+                c.collect_columns(&mut cols);
+                if !cols.is_empty() && cols.iter().all(|&x| x >= lo && x < hi) {
+                    local.push((ci, remap_columns(c, lo)));
+                }
+            }
+        }
+        let source = match f {
+            BoundFrom::Table { name, .. } => {
+                // Try a single-table index probe (constant pattern).
+                let mut probe = None;
+                let mut probe_ci = None;
+                {
+                    let t = ctx.catalog.get(name)?;
+                    let t = t.read();
+                    for (pos, (_, c)) in local.iter().enumerate() {
+                        if let Some((col, op, constant)) = constant_pattern(c) {
+                            if t.indexes.iter().any(|i| i.column() == col) {
+                                probe = Some((op, constant, c.clone()));
+                                probe_ci = Some(pos);
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some(pos) = probe_ci {
+                    let (ci, _) = local.remove(pos);
+                    used[ci] = true;
+                }
+                for (ci, _) in &local {
+                    used[*ci] = true;
+                }
+                Source::Table {
+                    name: name.clone(),
+                    filters: local.into_iter().map(|(_, c)| c).collect(),
+                    index_probe: probe,
+                }
+            }
+            BoundFrom::Cte { index, .. } => Source::Cte { index: *index },
+            BoundFrom::Subquery { plan, .. } => Source::Subquery { plan: plan.clone() },
+            BoundFrom::Series { args, .. } => Source::Series { args: args.clone() },
+        };
+        sources.push(source);
+    }
+
+    let mut it = sources.into_iter();
+    let first = it.next().ok_or_else(|| SqlError::execution("empty FROM"))?;
+    let mut steps = Vec::new();
+    let mut width = widths[0];
+    for (k, source) in it.enumerate() {
+        let ri = k + 1;
+        let (rlo, rhi) = (offsets[ri], offsets[ri] + widths[ri]);
+        // Strategy 1: GiST index nested loop when the right side is a base
+        // table with an index on a column compared by a registered
+        // operator against a left-side expression.
+        let mut strategy = None;
+        if let Source::Table { name, index_probe: None, .. } = &source {
+            let t = ctx.catalog.get(name)?;
+            let t = t.read();
+            for (ci, c) in conjuncts.iter().enumerate() {
+                if used[ci] || c.is_complex() {
+                    continue;
+                }
+                if let Some((col, op, probe)) = join_probe_pattern(c, rlo, rhi, width) {
+                    if t.indexes.iter().any(|i| i.column() == col) {
+                        strategy = Some(JoinStrategy::IndexNl {
+                            op,
+                            probe,
+                            original: c.clone(),
+                        });
+                        used[ci] = true;
+                        *ctx.used_index.borrow_mut() = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // Strategy 2: hash join on equality conjuncts.
+        if strategy.is_none() {
+            let mut lkeys = Vec::new();
+            let mut rkeys = Vec::new();
+            for (ci, c) in conjuncts.iter().enumerate() {
+                if used[ci] || c.is_complex() {
+                    continue;
+                }
+                if let BoundExpr::Compare { op: BinaryOp::Eq, left, right } = c {
+                    let (mut lc, mut rc) = (Vec::new(), Vec::new());
+                    left.collect_columns(&mut lc);
+                    right.collect_columns(&mut rc);
+                    let in_left =
+                        |cols: &[usize]| !cols.is_empty() && cols.iter().all(|&x| x < width);
+                    let in_right = |cols: &[usize]| {
+                        !cols.is_empty() && cols.iter().all(|&x| x >= rlo && x < rhi)
+                    };
+                    if in_left(&lc) && in_right(&rc) {
+                        lkeys.push((**left).clone());
+                        rkeys.push(remap_columns(right, rlo));
+                        used[ci] = true;
+                    } else if in_right(&lc) && in_left(&rc) {
+                        lkeys.push((**right).clone());
+                        rkeys.push(remap_columns(left, rlo));
+                        used[ci] = true;
+                    }
+                }
+            }
+            strategy = Some(if lkeys.is_empty() {
+                JoinStrategy::Cross
+            } else {
+                JoinStrategy::Hash { left_keys: lkeys, right_keys: rkeys }
+            });
+        }
+        width = rhi;
+        let mut post = Vec::new();
+        for (ci, c) in conjuncts.iter().enumerate() {
+            if used[ci] || c.is_complex() {
+                continue;
+            }
+            let mut cols = Vec::new();
+            c.collect_columns(&mut cols);
+            if cols.iter().all(|&x| x < width) {
+                used[ci] = true;
+                post.push(c.clone());
+            }
+        }
+        steps.push(JoinStep { source, strategy: strategy.unwrap(), post_filters: post });
+    }
+    let remaining: Vec<BoundExpr> = conjuncts
+        .into_iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|(c, _)| c)
+        .collect();
+    Ok(RowPlan { first, steps, remaining })
+}
+
+/// `col <op> literal` over the local column space.
+fn constant_pattern(c: &BoundExpr) -> Option<(usize, String, Value)> {
+    match c {
+        BoundExpr::Call { name, args, .. } if args.len() == 2 => match (&args[0], &args[1]) {
+            (BoundExpr::ColumnRef { index, .. }, BoundExpr::Literal(v)) => {
+                Some((*index, name.clone(), v.clone()))
+            }
+            (BoundExpr::Literal(v), BoundExpr::ColumnRef { index, .. }) if name == "&&" => {
+                Some((*index, name.clone(), v.clone()))
+            }
+            _ => None,
+        },
+        BoundExpr::Compare { op: BinaryOp::Eq, left, right } => match (&**left, &**right) {
+            (BoundExpr::ColumnRef { index, .. }, BoundExpr::Literal(v))
+            | (BoundExpr::Literal(v), BoundExpr::ColumnRef { index, .. }) => {
+                Some((*index, "=".into(), v.clone()))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// `right_col <op> expr(left)` join pattern (commuting `&&`). Returns the
+/// right column (local), operator, and the probe expression over the left
+/// row (global indices, which equal left-local indices).
+fn join_probe_pattern(
+    c: &BoundExpr,
+    rlo: usize,
+    rhi: usize,
+    left_width: usize,
+) -> Option<(usize, String, BoundExpr)> {
+    let BoundExpr::Call { name, args, .. } = c else { return None };
+    if args.len() != 2 {
+        return None;
+    }
+    let col_of_right = |e: &BoundExpr| match e {
+        BoundExpr::ColumnRef { index, .. } if *index >= rlo && *index < rhi => Some(*index - rlo),
+        _ => None,
+    };
+    let over_left = |e: &BoundExpr| {
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        !cols.is_empty() && cols.iter().all(|&x| x < left_width)
+    };
+    if let Some(col) = col_of_right(&args[0]) {
+        if over_left(&args[1]) {
+            return Some((col, name.clone(), args[1].clone()));
+        }
+    }
+    if name == "&&" || name == "=" {
+        if let Some(col) = col_of_right(&args[1]) {
+            if over_left(&args[0]) {
+                return Some((col, name.clone(), args[0].clone()));
+            }
+        }
+    }
+    None
+}
+
+fn remap_columns(e: &BoundExpr, offset: usize) -> BoundExpr {
+    use BoundExpr::*;
+    match e {
+        ColumnRef { index, ty } => ColumnRef { index: index - offset, ty: ty.clone() },
+        Call { name, func, args, ty, strict } => Call {
+            name: name.clone(),
+            func: func.clone(),
+            args: args.iter().map(|a| remap_columns(a, offset)).collect(),
+            ty: ty.clone(),
+            strict: *strict,
+        },
+        Compare { op, left, right } => Compare {
+            op: *op,
+            left: Box::new(remap_columns(left, offset)),
+            right: Box::new(remap_columns(right, offset)),
+        },
+        Arith { op, left, right, ty } => Arith {
+            op: *op,
+            left: Box::new(remap_columns(left, offset)),
+            right: Box::new(remap_columns(right, offset)),
+            ty: ty.clone(),
+        },
+        And(es) => And(es.iter().map(|x| remap_columns(x, offset)).collect()),
+        Or(es) => Or(es.iter().map(|x| remap_columns(x, offset)).collect()),
+        Not(x) => Not(Box::new(remap_columns(x, offset))),
+        IsNull { expr, negated } => {
+            IsNull { expr: Box::new(remap_columns(expr, offset)), negated: *negated }
+        }
+        InList { expr, list, negated } => InList {
+            expr: Box::new(remap_columns(expr, offset)),
+            list: list.iter().map(|x| remap_columns(x, offset)).collect(),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Render a PostgreSQL-style indented text plan for EXPLAIN.
+pub fn explain_select(ctx: &RowCtx<'_>, plan: &BoundSelect) -> SqlResult<String> {
+    let mut out = String::new();
+    if plan.limit.is_some() {
+        out.push_str(&format!("Limit ({} rows)\n", plan.limit.unwrap()));
+    }
+    if !plan.order_by.is_empty() {
+        out.push_str("Sort\n");
+    }
+    if plan.distinct {
+        out.push_str("Unique\n");
+    }
+    if plan.aggregated {
+        out.push_str(&format!(
+            "HashAggregate (groups: {}, aggregates: {})\n",
+            plan.group_by.len(),
+            plan.aggregates.len()
+        ));
+    }
+    if plan.from.is_empty() {
+        out.push_str("Result\n");
+        return Ok(out);
+    }
+    let rp = plan_rows(ctx, plan)?;
+    let mut depth = 0usize;
+    // Render join steps top-down (last join is outermost).
+    for step in rp.steps.iter().rev() {
+        let pad = "  ".repeat(depth);
+        match &step.strategy {
+            JoinStrategy::Hash { left_keys, .. } => {
+                out.push_str(&format!("{pad}Hash Join (keys: {})\n", left_keys.len()))
+            }
+            JoinStrategy::IndexNl { op, .. } => out.push_str(&format!(
+                "{pad}Nested Loop (index probe: {op} via GiST)\n"
+            )),
+            JoinStrategy::Cross => out.push_str(&format!("{pad}Nested Loop\n")),
+        }
+        depth += 1;
+    }
+    let pad = "  ".repeat(depth);
+    render_source(&mut out, &pad, &rp.first);
+    for step in &rp.steps {
+        render_source(&mut out, &pad, &step.source);
+    }
+    Ok(out)
+}
+
+fn render_source(out: &mut String, pad: &str, s: &Source) {
+    match s {
+        Source::Table { name, filters, index_probe } => {
+            if let Some((op, _, _)) = index_probe {
+                out.push_str(&format!("{pad}Index Scan on {name} ({op} probe)\n"));
+            } else {
+                out.push_str(&format!("{pad}Seq Scan on {name}"));
+                if !filters.is_empty() {
+                    out.push_str(&format!("  Filter: {} condition(s)", filters.len()));
+                }
+                out.push('\n');
+            }
+        }
+        Source::Cte { index } => out.push_str(&format!("{pad}CTE Scan (slot {index})\n")),
+        Source::Subquery { .. } => out.push_str(&format!("{pad}Subquery Scan\n")),
+        Source::Series { .. } => out.push_str(&format!("{pad}Function Scan on generate_series\n")),
+    }
+}
+
+// ------------------------------------------------------------ execution
+
+fn scan_source(
+    ctx: &RowCtx<'_>,
+    source: &Source,
+    outer: &OuterStack<'_>,
+) -> SqlResult<Vec<Row>> {
+    let exec = RowExecutor { ctx };
+    match source {
+        Source::Table { name, filters, index_probe } => {
+            let t = ctx.catalog.get(name)?;
+            let t = t.read();
+            let mut out = Vec::new();
+            let candidate_rows: Option<Vec<u64>> = match index_probe {
+                Some((op, constant, _)) => {
+                    let mut hit = None;
+                    for idx in &t.indexes {
+                        if let Some(rows) = idx.try_scan(op, constant)? {
+                            hit = Some(rows);
+                            break;
+                        }
+                    }
+                    if hit.is_some() {
+                        *ctx.used_index.borrow_mut() = true;
+                    }
+                    hit
+                }
+                None => None,
+            };
+            let mut process = |row: Row| -> SqlResult<()> {
+                for f in filters {
+                    if !matches!(eval(f, &row, outer, &exec)?, Value::Bool(true)) {
+                        return Ok(());
+                    }
+                }
+                out.push(row);
+                Ok(())
+            };
+            match (candidate_rows, index_probe) {
+                (Some(mut ids), Some((_, _, original))) => {
+                    ids.sort_unstable();
+                    *ctx.rows_scanned.borrow_mut() += ids.len();
+                    for id in ids {
+                        let row = detoast_row(ctx, &t.rows[id as usize])?;
+                        // Re-check the indexed predicate (the index may be
+                        // lossy) plus residual filters.
+                        if !matches!(eval(original, &row, outer, &exec)?, Value::Bool(true)) {
+                            continue;
+                        }
+                        process(row)?;
+                    }
+                }
+                _ => {
+                    *ctx.rows_scanned.borrow_mut() += t.rows.len();
+                    for stored in &t.rows {
+                        let row = detoast_row(ctx, stored)?;
+                        if let Some((_, _, original)) = index_probe {
+                            if !matches!(
+                                eval(original, &row, outer, &exec)?,
+                                Value::Bool(true)
+                            ) {
+                                continue;
+                            }
+                        }
+                        process(row)?;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Source::Cte { index } => {
+            let ctes = ctx.ctes.borrow();
+            let rows = ctes
+                .get(index)
+                .ok_or_else(|| SqlError::execution(format!("CTE {index} not materialized")))?;
+            Ok((**rows).clone())
+        }
+        Source::Subquery { plan } => execute_select(ctx, plan, outer),
+        Source::Series { args } => {
+            let vals: SqlResult<Vec<Value>> =
+                args.iter().map(|a| eval(a, &[], outer, &exec)).collect();
+            let vals = vals?;
+            let start = vals[0].as_int()?;
+            let stop = if vals.len() > 1 { vals[1].as_int()? } else { start };
+            let step = if vals.len() > 2 { vals[2].as_int()? } else { 1 };
+            if step == 0 {
+                return Err(SqlError::execution("generate_series step must be nonzero"));
+            }
+            let mut out = Vec::new();
+            let mut v = start;
+            while (step > 0 && v <= stop) || (step < 0 && v >= stop) {
+                out.push(vec![Value::Int(v)]);
+                v += step;
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Execute a bound SELECT, row at a time.
+pub fn execute_select(
+    ctx: &RowCtx<'_>,
+    plan: &BoundSelect,
+    outer: &OuterStack<'_>,
+) -> SqlResult<Vec<Row>> {
+    let exec = RowExecutor { ctx };
+
+    // CTEs first.
+    for cte in &plan.ctes {
+        let rows = execute_select(ctx, &cte.plan, outer)?;
+        ctx.ctes.borrow_mut().insert(cte.index, Arc::new(rows));
+    }
+
+    // FROM/WHERE pipeline.
+    let mut rows: Vec<Row> = if plan.from.is_empty() {
+        vec![Vec::new()]
+    } else {
+        let rp = plan_rows(ctx, plan)?;
+        let mut acc = scan_source(ctx, &rp.first, outer)?;
+        for step in &rp.steps {
+            acc = match &step.strategy {
+                JoinStrategy::Cross => {
+                    let right = scan_source(ctx, &step.source, outer)?;
+                    let mut out = Vec::new();
+                    for l in &acc {
+                        for r in &right {
+                            let mut row = l.clone();
+                            row.extend(r.iter().cloned());
+                            out.push(row);
+                        }
+                    }
+                    out
+                }
+                JoinStrategy::Hash { left_keys, right_keys } => {
+                    let right = scan_source(ctx, &step.source, outer)?;
+                    let mut table: HashMap<Vec<u8>, Vec<usize>> =
+                        HashMap::with_capacity(right.len());
+                    'build: for (i, r) in right.iter().enumerate() {
+                        let mut key = Vec::new();
+                        for k in right_keys {
+                            let v = eval(k, r, outer, &exec)?;
+                            if v.is_null() {
+                                continue 'build;
+                            }
+                            v.hash_key(&mut key);
+                        }
+                        table.entry(key).or_default().push(i);
+                    }
+                    let mut out = Vec::new();
+                    'probe: for l in &acc {
+                        let mut key = Vec::new();
+                        for k in left_keys {
+                            let v = eval(k, l, outer, &exec)?;
+                            if v.is_null() {
+                                continue 'probe;
+                            }
+                            v.hash_key(&mut key);
+                        }
+                        if let Some(ms) = table.get(&key) {
+                            for &i in ms {
+                                let mut row = l.clone();
+                                row.extend(right[i].iter().cloned());
+                                out.push(row);
+                            }
+                        }
+                    }
+                    out
+                }
+                JoinStrategy::IndexNl { op, probe, original } => {
+                    let Source::Table { name, filters, .. } = &step.source else {
+                        return Err(SqlError::execution("index NL join needs a base table"));
+                    };
+                    let t = ctx.catalog.get(name)?;
+                    let t = t.read();
+                    let mut out = Vec::new();
+                    for l in &acc {
+                        let probe_val = eval(probe, l, outer, &exec)?;
+                        if probe_val.is_null() {
+                            continue;
+                        }
+                        let mut ids = None;
+                        for idx in &t.indexes {
+                            if let Some(hit) = idx.try_scan(op, &probe_val)? {
+                                ids = Some(hit);
+                                break;
+                            }
+                        }
+                        let Some(ids) = ids else {
+                            return Err(SqlError::execution(
+                                "planned index NL join but no index accepted the probe",
+                            ));
+                        };
+                        *ctx.rows_scanned.borrow_mut() += ids.len();
+                        'cand: for id in ids {
+                            let r = detoast_row(ctx, &t.rows[id as usize])?;
+                            for f in filters {
+                                if !matches!(eval(f, &r, outer, &exec)?, Value::Bool(true)) {
+                                    continue 'cand;
+                                }
+                            }
+                            let mut row = l.clone();
+                            row.extend(r.iter().cloned());
+                            // Re-check the join predicate exactly.
+                            if matches!(eval(original, &row, outer, &exec)?, Value::Bool(true)) {
+                                out.push(row);
+                            }
+                        }
+                    }
+                    out
+                }
+            };
+            for f in &step.post_filters {
+                let mut kept = Vec::with_capacity(acc.len());
+                for row in acc {
+                    if matches!(eval(f, &row, outer, &exec)?, Value::Bool(true)) {
+                        kept.push(row);
+                    }
+                }
+                acc = kept;
+            }
+        }
+        for f in &rp.remaining {
+            let mut kept = Vec::with_capacity(acc.len());
+            for row in acc {
+                if matches!(eval(f, &row, outer, &exec)?, Value::Bool(true)) {
+                    kept.push(row);
+                }
+            }
+            acc = kept;
+        }
+        acc
+    };
+
+    // Aggregation.
+    if plan.aggregated {
+        rows = aggregate_rows(ctx, plan, rows, outer)?;
+        if let Some(h) = &plan.having {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if matches!(eval(h, &row, outer, &exec)?, Value::Bool(true)) {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+    }
+
+    // Projection.
+    let needs_env = plan.order_by.iter().any(|o| matches!(o.key, SortKey::Input(_)));
+    let mut out_rows: Vec<Row> = Vec::with_capacity(rows.len());
+    let mut env_rows: Vec<Row> = Vec::new();
+    for row in rows {
+        let mut out = Vec::with_capacity(plan.projections.len());
+        for p in &plan.projections {
+            out.push(eval(p, &row, outer, &exec)?);
+        }
+        out_rows.push(out);
+        if needs_env {
+            env_rows.push(row);
+        }
+    }
+
+    // DISTINCT.
+    if plan.distinct {
+        let mut seen = std::collections::HashSet::new();
+        let mut kept = Vec::with_capacity(out_rows.len());
+        let mut kept_env = Vec::new();
+        for (i, row) in out_rows.into_iter().enumerate() {
+            let mut key = Vec::new();
+            for v in &row {
+                v.hash_key(&mut key);
+            }
+            if seen.insert(key) {
+                if needs_env {
+                    kept_env.push(env_rows[i].clone());
+                }
+                kept.push(row);
+            }
+        }
+        out_rows = kept;
+        env_rows = kept_env;
+    }
+
+    // ORDER BY.
+    if !plan.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(out_rows.len());
+        for (i, row) in out_rows.into_iter().enumerate() {
+            let mut keys = Vec::with_capacity(plan.order_by.len());
+            for o in &plan.order_by {
+                keys.push(match &o.key {
+                    SortKey::Output(j) => row[*j].clone(),
+                    SortKey::Input(e) => eval(e, &env_rows[i], outer, &exec)?,
+                });
+            }
+            keyed.push((keys, row));
+        }
+        keyed.sort_by(|(a, _), (b, _)| {
+            for ((x, y), o) in a.iter().zip(b).zip(&plan.order_by) {
+                let ord = match x.sql_cmp(y) {
+                    Some(ord) => ord,
+                    None => match (x.is_null(), y.is_null()) {
+                        (true, false) => std::cmp::Ordering::Greater,
+                        (false, true) => std::cmp::Ordering::Less,
+                        _ => std::cmp::Ordering::Equal,
+                    },
+                };
+                let ord = if o.asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out_rows = keyed.into_iter().map(|(_, r)| r).collect();
+    }
+
+    // OFFSET / LIMIT.
+    if let Some(off) = plan.offset {
+        let off = off as usize;
+        out_rows = if off >= out_rows.len() { Vec::new() } else { out_rows.split_off(off) };
+    }
+    if let Some(lim) = plan.limit {
+        out_rows.truncate(lim as usize);
+    }
+    Ok(out_rows)
+}
+
+fn aggregate_rows(
+    ctx: &RowCtx<'_>,
+    plan: &BoundSelect,
+    rows: Vec<Row>,
+    outer: &OuterStack<'_>,
+) -> SqlResult<Vec<Row>> {
+    let exec = RowExecutor { ctx };
+    struct Group {
+        keys: Vec<Value>,
+        states: Vec<Box<dyn mduck_sql::AggState>>,
+        distinct_seen: Vec<Option<std::collections::HashSet<Vec<u8>>>>,
+    }
+    let mut groups: HashMap<Vec<u8>, Group> = HashMap::new();
+    for row in &rows {
+        let mut key = Vec::new();
+        let mut keys = Vec::with_capacity(plan.group_by.len());
+        for g in &plan.group_by {
+            let v = eval(g, row, outer, &exec)?;
+            v.hash_key(&mut key);
+            keys.push(v);
+        }
+        let group = groups.entry(key).or_insert_with(|| Group {
+            keys,
+            states: plan.aggregates.iter().map(|a| (a.factory)()).collect(),
+            distinct_seen: plan
+                .aggregates
+                .iter()
+                .map(|a| a.distinct.then(std::collections::HashSet::new))
+                .collect(),
+        });
+        for (ai, agg) in plan.aggregates.iter().enumerate() {
+            let mut args = Vec::with_capacity(agg.args.len());
+            for a in &agg.args {
+                args.push(eval(a, row, outer, &exec)?);
+            }
+            if let Some(seen) = &mut group.distinct_seen[ai] {
+                let mut akey = Vec::new();
+                for a in &args {
+                    a.hash_key(&mut akey);
+                }
+                if !seen.insert(akey) {
+                    continue;
+                }
+            }
+            group.states[ai].update(&args)?;
+        }
+    }
+    if groups.is_empty() && plan.group_by.is_empty() {
+        let mut states: Vec<Box<dyn mduck_sql::AggState>> =
+            plan.aggregates.iter().map(|a| (a.factory)()).collect();
+        let mut row = Vec::new();
+        for s in &mut states {
+            row.push(s.finalize()?);
+        }
+        return Ok(vec![row]);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, mut g) in groups {
+        let mut row = g.keys;
+        for s in &mut g.states {
+            row.push(s.finalize()?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}

@@ -1,0 +1,122 @@
+//! End-to-end tests for the row engine, including cross-engine result
+//! equivalence with quackdb on a shared workload.
+
+use mduck_rowdb::RowDatabase;
+use quackdb::Database;
+
+const SETUP: &str = "
+CREATE TABLE people(id INTEGER, name VARCHAR, age INTEGER, city VARCHAR);
+INSERT INTO people VALUES
+ (1, 'ann', 34, 'hanoi'), (2, 'bob', 28, 'hue'), (3, 'cat', 41, 'hanoi'),
+ (4, 'dan', 28, 'danang'), (5, 'eve', 55, 'hanoi');
+";
+
+fn row_db() -> RowDatabase {
+    let db = RowDatabase::new();
+    db.execute_script(SETUP).unwrap();
+    db
+}
+
+#[test]
+fn basic_select() {
+    let db = row_db();
+    let r = db
+        .execute("SELECT name FROM people WHERE city = 'hanoi' ORDER BY age")
+        .unwrap();
+    let names: Vec<String> = r.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["ann", "cat", "eve"]);
+}
+
+#[test]
+fn btree_index_equality_scan() {
+    let db = row_db();
+    db.execute("CREATE INDEX idx_city ON people USING BTREE(city)").unwrap();
+    let r = db.execute("SELECT count(*) FROM people WHERE city = 'hanoi'").unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "3");
+    // Index is maintained on insert.
+    db.execute("INSERT INTO people VALUES (6, 'fox', 20, 'hanoi')").unwrap();
+    let r = db.execute("SELECT count(*) FROM people WHERE city = 'hanoi'").unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "4");
+    // ... and rebuilt on delete.
+    db.execute("DELETE FROM people WHERE name = 'fox'").unwrap();
+    let r = db.execute("SELECT count(*) FROM people WHERE city = 'hanoi'").unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "3");
+}
+
+#[test]
+fn default_index_method_is_btree() {
+    let db = row_db();
+    db.execute("CREATE INDEX idx_id ON people(id)").unwrap();
+    let r = db.execute("SELECT name FROM people WHERE id = 3").unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "cat");
+}
+
+#[test]
+fn engines_agree_on_shared_workload() {
+    let rdb = row_db();
+    let vdb = Database::new();
+    vdb.execute_script(SETUP).unwrap();
+
+    for sql in [
+        "SELECT count(*) FROM people",
+        "SELECT city, count(*) AS n, min(age) FROM people GROUP BY city ORDER BY city",
+        "SELECT p1.name, p2.name FROM people p1, people p2 \
+         WHERE p1.age = p2.age AND p1.id < p2.id ORDER BY p1.id",
+        "SELECT DISTINCT age FROM people ORDER BY age DESC LIMIT 3",
+        "WITH h AS (SELECT * FROM people WHERE city = 'hanoi') \
+         SELECT name FROM h WHERE age > (SELECT avg(age) FROM h) ORDER BY name",
+        "SELECT p1.name FROM people p1 WHERE p1.age <= ALL \
+         (SELECT p2.age FROM people p2 WHERE p1.city = p2.city) ORDER BY p1.name",
+        "SELECT name FROM people ORDER BY age * -1, name LIMIT 2",
+    ] {
+        let a = rdb.execute(sql).unwrap_or_else(|e| panic!("rowdb failed {sql}: {e}"));
+        let b = vdb.execute(sql).unwrap_or_else(|e| panic!("quackdb failed {sql}: {e}"));
+        let ra: Vec<Vec<String>> =
+            a.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
+        let rb: Vec<Vec<String>> =
+            b.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
+        assert_eq!(ra, rb, "engines disagree on {sql}");
+    }
+}
+
+#[test]
+fn unordered_results_agree() {
+    let rdb = row_db();
+    let vdb = Database::new();
+    vdb.execute_script(SETUP).unwrap();
+    for sql in [
+        "SELECT name, age FROM people WHERE age > 20",
+        "SELECT city, sum(age) FROM people GROUP BY city",
+    ] {
+        let mut a: Vec<String> = rdb
+            .execute(sql)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        let mut b: Vec<String> = vdb
+            .execute(sql)
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "engines disagree on {sql}");
+    }
+}
+
+#[test]
+fn update_and_generate_series() {
+    let db = RowDatabase::new();
+    db.execute("CREATE TABLE t(i INTEGER, d DOUBLE)").unwrap();
+    db.execute("INSERT INTO t SELECT i, i * 1.5 FROM generate_series(1, 100) AS g(i)")
+        .unwrap();
+    let r = db.execute("SELECT count(*), sum(d) FROM t").unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "100");
+    db.execute("UPDATE t SET d = 0.0 WHERE i > 50").unwrap();
+    let r = db.execute("SELECT sum(d) FROM t").unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "1912.5"); // 1.5 * 1275
+}

@@ -1,0 +1,202 @@
+//! The abstract syntax tree produced by the parser.
+
+use crate::value::Value;
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    CreateTable {
+        name: String,
+        /// (column name, type name as written)
+        columns: Vec<(String, String)>,
+        if_not_exists: bool,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        /// Index method from `USING <method>`; empty means the default.
+        method: String,
+        column: String,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        source: InsertSource,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
+    },
+    Explain(Box<Statement>),
+}
+
+/// The data source of an INSERT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Select(Box<SelectStmt>),
+}
+
+/// A SELECT statement (optionally with CTEs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// `WITH name(col, ...) AS (select)` entries, in order.
+    pub ctes: Vec<Cte>,
+    pub distinct: bool,
+    pub projections: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+/// A common table expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    pub name: String,
+    pub column_aliases: Vec<String>,
+    pub query: SelectStmt,
+}
+
+/// One projection in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` or `alias.*`
+    Wildcard { table: Option<String> },
+    /// An expression with an optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// An ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub asc: bool,
+}
+
+/// A FROM item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    Table {
+        name: String,
+        alias: Option<String>,
+    },
+    Subquery {
+        query: Box<SelectStmt>,
+        alias: String,
+    },
+    /// A table function such as `generate_series(1, 1000) AS t(i)`.
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        alias: Option<String>,
+        column_aliases: Vec<String>,
+    },
+    /// Explicit `a JOIN b ON cond` (inner joins only).
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        on: Expr,
+    },
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// `tstzspan '[2025-01-01, 2025-01-02]'`, `interval '1 day'`, ...
+    TypedLiteral { type_name: String, text: String },
+    /// A (possibly qualified) column reference.
+    Column { table: Option<String>, name: String },
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    /// Registered operator symbol (`&&`, `@>`, `<->`, ...).
+    CustomOp { op: String, left: Box<Expr>, right: Box<Expr> },
+    Func { name: String, args: Vec<Expr>, distinct: bool },
+    /// `count(*)`.
+    CountStar,
+    Cast { expr: Box<Expr>, type_name: String },
+    IsNull { expr: Box<Expr>, negated: bool },
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    /// A scalar subquery.
+    Subquery(Box<SelectStmt>),
+    /// `expr op ALL (subquery)` / `expr op ANY (subquery)`.
+    Quantified { left: Box<Expr>, op: BinaryOp, all: bool, query: Box<SelectStmt> },
+    /// `EXISTS (subquery)`.
+    Exists { query: Box<SelectStmt>, negated: bool },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Concat,
+}
+
+impl BinaryOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Concat => "||",
+        }
+    }
+
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+}

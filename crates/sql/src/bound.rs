@@ -1,0 +1,335 @@
+//! Bound (name-resolved, type-checked) plans — the contract between the
+//! shared frontend and the two executors (vectorized `quackdb`,
+//! tuple-at-a-time `mduck-rowdb`).
+
+use std::sync::Arc;
+
+use crate::ast::BinaryOp;
+use crate::registry::{AggState, ScalarFn};
+use crate::value::{LogicalType, Value};
+
+/// A named, typed output column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub name: String,
+    /// The binding alias of the FROM item the column came from.
+    pub table: Option<String>,
+    pub ty: LogicalType,
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Concatenate (for comma joins).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Find a column by (optional table alias, name); both lowercased.
+    /// Returns `Err(true)` on ambiguity, `Err(false)` when absent.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize, bool> {
+        let mut found = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            let name_matches = f.name == name;
+            let table_matches = match table {
+                None => true,
+                Some(t) => f.table.as_deref() == Some(t),
+            };
+            if name_matches && table_matches {
+                if found.is_some() {
+                    return Err(true);
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or(false)
+    }
+}
+
+/// A bound expression, evaluated against an environment row (plus a stack
+/// of outer rows for correlated subqueries).
+#[derive(Clone)]
+pub enum BoundExpr {
+    Literal(Value),
+    /// Column of the current environment row.
+    ColumnRef { index: usize, ty: LogicalType },
+    /// Column of an enclosing query's row (`depth` scopes up, 1-based).
+    OuterRef { depth: usize, index: usize, ty: LogicalType },
+    /// A resolved scalar function / operator / cast call.
+    Call {
+        name: String,
+        func: ScalarFn,
+        args: Vec<BoundExpr>,
+        ty: LogicalType,
+        strict: bool,
+    },
+    /// Built-in comparison with SQL semantics.
+    Compare { op: BinaryOp, left: Box<BoundExpr>, right: Box<BoundExpr> },
+    /// Built-in arithmetic / concatenation.
+    Arith { op: BinaryOp, left: Box<BoundExpr>, right: Box<BoundExpr>, ty: LogicalType },
+    And(Vec<BoundExpr>),
+    Or(Vec<BoundExpr>),
+    Not(Box<BoundExpr>),
+    IsNull { expr: Box<BoundExpr>, negated: bool },
+    InList { expr: Box<BoundExpr>, list: Vec<BoundExpr>, negated: bool },
+    Case {
+        operand: Option<Box<BoundExpr>>,
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        else_expr: Option<Box<BoundExpr>>,
+        ty: LogicalType,
+    },
+    /// Uncorrelated or correlated scalar subquery.
+    ScalarSubquery { plan: Box<BoundSelect>, ty: LogicalType },
+    /// `expr op ALL/ANY (subquery)`.
+    Quantified { op: BinaryOp, all: bool, left: Box<BoundExpr>, plan: Box<BoundSelect> },
+    Exists { plan: Box<BoundSelect>, negated: bool },
+}
+
+impl std::fmt::Debug for BoundExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundExpr::Literal(v) => write!(f, "lit({v:?})"),
+            BoundExpr::ColumnRef { index, .. } => write!(f, "col#{index}"),
+            BoundExpr::OuterRef { depth, index, .. } => write!(f, "outer#{depth}.{index}"),
+            BoundExpr::Call { name, args, .. } => write!(f, "{name}({args:?})"),
+            BoundExpr::Compare { op, left, right } => {
+                write!(f, "({left:?} {} {right:?})", op.symbol())
+            }
+            BoundExpr::Arith { op, left, right, .. } => {
+                write!(f, "({left:?} {} {right:?})", op.symbol())
+            }
+            BoundExpr::And(es) => write!(f, "and{es:?}"),
+            BoundExpr::Or(es) => write!(f, "or{es:?}"),
+            BoundExpr::Not(e) => write!(f, "not({e:?})"),
+            BoundExpr::IsNull { expr, negated } => {
+                write!(f, "({expr:?} is {}null)", if *negated { "not " } else { "" })
+            }
+            BoundExpr::InList { expr, list, .. } => write!(f, "({expr:?} in {list:?})"),
+            BoundExpr::Case { .. } => write!(f, "case(...)"),
+            BoundExpr::ScalarSubquery { .. } => write!(f, "subquery(...)"),
+            BoundExpr::Quantified { op, all, left, .. } => {
+                write!(f, "({left:?} {} {}(...))", op.symbol(), if *all { "ALL" } else { "ANY" })
+            }
+            BoundExpr::Exists { negated, .. } => {
+                write!(f, "{}exists(...)", if *negated { "not " } else { "" })
+            }
+        }
+    }
+}
+
+impl BoundExpr {
+    pub fn ty(&self) -> LogicalType {
+        match self {
+            BoundExpr::Literal(v) => v.logical_type(),
+            BoundExpr::ColumnRef { ty, .. }
+            | BoundExpr::OuterRef { ty, .. }
+            | BoundExpr::Call { ty, .. }
+            | BoundExpr::Arith { ty, .. }
+            | BoundExpr::Case { ty, .. }
+            | BoundExpr::ScalarSubquery { ty, .. } => ty.clone(),
+            BoundExpr::Compare { .. }
+            | BoundExpr::And(_)
+            | BoundExpr::Or(_)
+            | BoundExpr::Not(_)
+            | BoundExpr::IsNull { .. }
+            | BoundExpr::InList { .. }
+            | BoundExpr::Quantified { .. }
+            | BoundExpr::Exists { .. } => LogicalType::Bool,
+        }
+    }
+
+    /// Does evaluation need anything beyond the current row (subqueries /
+    /// outer references)? Vectorized fast paths bail out when true.
+    pub fn is_complex(&self) -> bool {
+        match self {
+            BoundExpr::Literal(_) | BoundExpr::ColumnRef { .. } => false,
+            BoundExpr::OuterRef { .. }
+            | BoundExpr::ScalarSubquery { .. }
+            | BoundExpr::Quantified { .. }
+            | BoundExpr::Exists { .. } => true,
+            BoundExpr::Call { args, .. } => args.iter().any(BoundExpr::is_complex),
+            BoundExpr::Compare { left, right, .. } | BoundExpr::Arith { left, right, .. } => {
+                left.is_complex() || right.is_complex()
+            }
+            BoundExpr::And(es) | BoundExpr::Or(es) => es.iter().any(BoundExpr::is_complex),
+            BoundExpr::Not(e) => e.is_complex(),
+            BoundExpr::IsNull { expr, .. } => expr.is_complex(),
+            BoundExpr::InList { expr, list, .. } => {
+                expr.is_complex() || list.iter().any(BoundExpr::is_complex)
+            }
+            BoundExpr::Case { operand, branches, else_expr, .. } => {
+                operand.as_deref().is_some_and(BoundExpr::is_complex)
+                    || branches.iter().any(|(c, v)| c.is_complex() || v.is_complex())
+                    || else_expr.as_deref().is_some_and(BoundExpr::is_complex)
+            }
+        }
+    }
+
+    /// Collect column indices referenced at the current depth.
+    pub fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundExpr::ColumnRef { index, .. } => out.push(*index),
+            BoundExpr::Call { args, .. } => args.iter().for_each(|a| a.collect_columns(out)),
+            BoundExpr::Compare { left, right, .. } | BoundExpr::Arith { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            BoundExpr::And(es) | BoundExpr::Or(es) => {
+                es.iter().for_each(|e| e.collect_columns(out))
+            }
+            BoundExpr::Not(e) => e.collect_columns(out),
+            BoundExpr::IsNull { expr, .. } => expr.collect_columns(out),
+            BoundExpr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                list.iter().for_each(|e| e.collect_columns(out));
+            }
+            BoundExpr::Case { operand, branches, else_expr, .. } => {
+                if let Some(o) = operand {
+                    o.collect_columns(out);
+                }
+                for (c, v) in branches {
+                    c.collect_columns(out);
+                    v.collect_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_columns(out);
+                }
+            }
+            BoundExpr::Quantified { left, .. } => left.collect_columns(out),
+            _ => {}
+        }
+    }
+}
+
+/// One bound aggregate call.
+#[derive(Clone)]
+pub struct BoundAggregate {
+    pub name: String,
+    pub args: Vec<BoundExpr>,
+    pub distinct: bool,
+    pub ty: LogicalType,
+    pub factory: Arc<dyn Fn() -> Box<dyn AggState> + Send + Sync>,
+}
+
+impl std::fmt::Debug for BoundAggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({:?}{})", self.name, self.args, if self.distinct { " distinct" } else { "" })
+    }
+}
+
+/// How to obtain a sort key.
+#[derive(Debug, Clone)]
+pub enum SortKey {
+    /// Index into the projected output row.
+    Output(usize),
+    /// Expression over the projection-input environment.
+    Input(BoundExpr),
+}
+
+#[derive(Debug, Clone)]
+pub struct BoundOrder {
+    pub key: SortKey,
+    pub asc: bool,
+}
+
+/// A bound FROM item.
+#[derive(Debug, Clone)]
+pub enum BoundFrom {
+    Table { name: String, alias: String, schema: Schema },
+    Cte { index: usize, alias: String, schema: Schema },
+    Subquery { plan: Box<BoundSelect>, alias: String, schema: Schema },
+    /// `generate_series(start, stop[, step])`.
+    Series { args: Vec<BoundExpr>, alias: String, schema: Schema },
+}
+
+impl BoundFrom {
+    pub fn schema(&self) -> &Schema {
+        match self {
+            BoundFrom::Table { schema, .. }
+            | BoundFrom::Cte { schema, .. }
+            | BoundFrom::Subquery { schema, .. }
+            | BoundFrom::Series { schema, .. } => schema,
+        }
+    }
+}
+
+/// A bound CTE (materialized once per execution, in order).
+#[derive(Debug, Clone)]
+pub struct BoundCte {
+    pub name: String,
+    /// Global CTE slot assigned by the binder; `BoundFrom::Cte` references
+    /// use the same index space.
+    pub index: usize,
+    pub plan: BoundSelect,
+}
+
+/// A fully bound SELECT.
+///
+/// Evaluation model shared by both engines:
+/// 1. materialize `ctes` in order;
+/// 2. produce the cross product of `from` (engines extract equi-join and
+///    index-join conditions from `filter`'s conjuncts);
+/// 3. apply `filter`;
+/// 4. if `aggregated`: group by `group_by`, compute `aggregates`, and form
+///    the *aggregate environment row* `[group keys ++ agg results]`; apply
+///    `having`; otherwise the environment row is the input row;
+/// 5. evaluate `projections` over the environment row;
+/// 6. DISTINCT, ORDER BY (`SortKey::Output` over the projected row,
+///    `SortKey::Input` over the environment row), OFFSET/LIMIT.
+#[derive(Debug, Clone, Default)]
+pub struct BoundSelect {
+    pub ctes: Vec<BoundCte>,
+    pub from: Vec<BoundFrom>,
+    pub filter: Option<BoundExpr>,
+    pub aggregated: bool,
+    pub group_by: Vec<BoundExpr>,
+    pub aggregates: Vec<BoundAggregate>,
+    pub having: Option<BoundExpr>,
+    pub projections: Vec<BoundExpr>,
+    pub distinct: bool,
+    pub order_by: Vec<BoundOrder>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+    /// Schema of the concatenated FROM items.
+    pub input_schema: Schema,
+    /// Schema of the aggregate environment (equals `input_schema` when not
+    /// aggregated).
+    pub env_schema: Schema,
+    pub output_schema: Schema,
+}
+
+/// Split a filter into top-level AND conjuncts.
+pub fn split_conjuncts(expr: &BoundExpr, out: &mut Vec<BoundExpr>) {
+    match expr {
+        BoundExpr::And(es) => {
+            for e in es {
+                split_conjuncts(e, out);
+            }
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Catalog abstraction the binder resolves table names against.
+pub trait Catalog {
+    /// Column names and types of a base table (lower-cased names).
+    fn table_schema(&self, name: &str) -> Option<Vec<(String, LogicalType)>>;
+}

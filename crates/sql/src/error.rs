@@ -1,0 +1,45 @@
+//! The error type shared by the SQL frontend and both engines.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, binding, or executing SQL.
+#[derive(Debug, Clone)]
+pub enum SqlError {
+    /// Lexer-level problem (unterminated string, stray character).
+    Lex(String),
+    /// Grammar-level problem.
+    Parse(String),
+    /// Name resolution / type checking problem.
+    Bind(String),
+    /// Catalog problem (unknown table, duplicate index, ...).
+    Catalog(String),
+    /// Runtime evaluation problem.
+    Execution(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Bind(m) => write!(f, "binder error: {m}"),
+            SqlError::Catalog(m) => write!(f, "catalog error: {m}"),
+            SqlError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+impl SqlError {
+    pub fn execution(msg: impl Into<String>) -> Self {
+        SqlError::Execution(msg.into())
+    }
+
+    pub fn bind(msg: impl Into<String>) -> Self {
+        SqlError::Bind(msg.into())
+    }
+}

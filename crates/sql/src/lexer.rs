@@ -1,0 +1,263 @@
+//! SQL lexer.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier or keyword, original case preserved.
+    Ident(String),
+    /// Double-quoted identifier.
+    QuotedIdent(String),
+    /// Single-quoted string literal (escapes resolved).
+    String(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating literal.
+    Number(f64),
+    /// Punctuation / operator symbol (`::`, `&&`, `<=`, `(`, ...).
+    Symbol(&'static str),
+    /// A non-standard operator symbol (e.g. `<->`, `@>`, `-|-`).
+    Op(String),
+    Eof,
+}
+
+impl Token {
+    /// Keyword test, case-insensitive.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+const SYMBOLS: &[&str] = &[
+    "::", "<=", ">=", "<>", "!=", "&&", "||", "@>", "<@", "<<", ">>", "-|-", "<->", "|=|", "(",
+    ")", ",", ".", ";", "=", "<", ">", "+", "-", "*", "/", "%", "{", "}", "[", "]", ":",
+];
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comments.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let mut depth = 1;
+            i += 2;
+            while i + 1 < bytes.len() && depth > 0 {
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else if bytes[i] == b'/' && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // String literal.
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(SqlError::Lex("unterminated string literal".into()));
+                }
+                if bytes[i] == b'\'' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                        s.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    // Multi-byte safe: push the full char.
+                    let ch_str = &input[i..];
+                    let ch = ch_str.chars().next().unwrap();
+                    s.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+            tokens.push(Token::String(s));
+            continue;
+        }
+        // Quoted identifier.
+        if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(SqlError::Lex("unterminated quoted identifier".into()));
+                }
+                if bytes[i] == b'"' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        s.push('"');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    let ch = input[i..].chars().next().unwrap();
+                    s.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+            tokens.push(Token::QuotedIdent(s));
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_digit() {
+                    i += 1;
+                } else if ch == '.' && !is_float {
+                    // Don't treat "1." followed by ".." as float.
+                    is_float = true;
+                    i += 1;
+                } else if (ch == 'e' || ch == 'E')
+                    && i + 1 < bytes.len()
+                    && ((bytes[i + 1] as char).is_ascii_digit()
+                        || bytes[i + 1] == b'+'
+                        || bytes[i + 1] == b'-')
+                {
+                    is_float = true;
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            let text = &input[start..i];
+            if is_float {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| SqlError::Lex(format!("bad number {text:?}")))?;
+                tokens.push(Token::Number(v));
+            } else {
+                match text.parse::<i64>() {
+                    Ok(v) => tokens.push(Token::Integer(v)),
+                    Err(_) => {
+                        let v: f64 = text
+                            .parse()
+                            .map_err(|_| SqlError::Lex(format!("bad number {text:?}")))?;
+                        tokens.push(Token::Number(v));
+                    }
+                }
+            }
+            continue;
+        }
+        // Identifier.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token::Ident(input[start..i].to_string()));
+            continue;
+        }
+        // Symbols (longest match first).
+        let rest = &input[i..];
+        let mut matched = false;
+        for sym in SYMBOLS {
+            if rest.starts_with(sym) {
+                tokens.push(Token::Symbol(sym));
+                i += sym.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        return Err(SqlError::Lex(format!("unexpected character {c:?} at offset {i}")));
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT a, 1.5 FROM t WHERE x <= 'it''s'").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[2], Token::Symbol(","));
+        assert_eq!(toks[3], Token::Number(1.5));
+        assert!(toks.contains(&Token::Symbol("<=")));
+        assert!(toks.contains(&Token::String("it's".into())));
+    }
+
+    #[test]
+    fn custom_operators() {
+        let toks = tokenize("a && b @> c <-> d -|- e").unwrap();
+        assert!(toks.contains(&Token::Symbol("&&")));
+        assert!(toks.contains(&Token::Symbol("@>")));
+        assert!(toks.contains(&Token::Symbol("<->")));
+        assert!(toks.contains(&Token::Symbol("-|-")));
+    }
+
+    #[test]
+    fn cast_and_comments() {
+        let toks = tokenize("x::stbox -- a comment\n/* block /* nested */ */ y").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("x".into()),
+                Token::Symbol("::"),
+                Token::Ident("stbox".into()),
+                Token::Ident("y".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize(r#""times" timestamptz"#).unwrap();
+        assert_eq!(toks[0], Token::QuotedIdent("times".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("1 2.5 1e3 .5 10000000000000000000").unwrap();
+        assert_eq!(toks[0], Token::Integer(1));
+        assert_eq!(toks[1], Token::Number(2.5));
+        assert_eq!(toks[2], Token::Number(1000.0));
+        assert_eq!(toks[3], Token::Number(0.5));
+        assert!(matches!(toks[4], Token::Number(_))); // overflows i64 → float
+    }
+}

@@ -1,0 +1,34 @@
+//! # mduck-sql — the shared SQL frontend
+//!
+//! Lexer, parser, binder, registries, and runtime values shared by the two
+//! execution engines of this workspace:
+//!
+//! * `quackdb` — the columnar, vectorized engine standing in for DuckDB,
+//! * `mduck-rowdb` — the row-oriented Volcano engine standing in for
+//!   PostgreSQL/MobilityDB.
+//!
+//! Sharing the frontend isolates exactly the variable the paper's
+//! evaluation varies: the execution model.
+
+pub mod ast;
+pub mod binder;
+pub mod bound;
+pub mod builtins;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod registry;
+pub mod value;
+
+pub use ast::{BinaryOp, Expr, InsertSource, SelectStmt, Statement, TableRef};
+pub use binder::Binder;
+pub use bound::{
+    split_conjuncts, BoundAggregate, BoundExpr, BoundFrom, BoundOrder, BoundSelect, Catalog,
+    Field, Schema, SortKey,
+};
+pub use error::{SqlError, SqlResult};
+pub use eval::{compare, eval, OuterStack, SubqueryExec};
+pub use parser::{parse_script, parse_statement};
+pub use registry::{AggState, Registry, ScalarFn, ScalarSig};
+pub use value::{ExtObject, ExtValue, LogicalType, Value};

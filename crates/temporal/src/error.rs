@@ -1,0 +1,39 @@
+//! Error type for the temporal algebra.
+
+use std::fmt;
+
+/// Errors raised by parsing or evaluating temporal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemporalError {
+    /// A literal could not be parsed.
+    Parse(String),
+    /// A constructor received inconsistent arguments (unordered bounds,
+    /// unordered instants, empty sequence, ...).
+    Invalid(String),
+    /// An operation is not defined for the given subtype/interpolation.
+    Unsupported(String),
+    /// A geometry error bubbled up from the geo kernel.
+    Geo(mduck_geo::GeoError),
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalError::Parse(m) => write!(f, "parse error: {m}"),
+            TemporalError::Invalid(m) => write!(f, "invalid argument: {m}"),
+            TemporalError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            TemporalError::Geo(e) => write!(f, "geometry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+impl From<mduck_geo::GeoError> for TemporalError {
+    fn from(e: mduck_geo::GeoError) -> Self {
+        TemporalError::Geo(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type TemporalResult<T> = Result<T, TemporalError>;

@@ -1,0 +1,556 @@
+//! The `span` template type: an interval over an ordered base type
+//! (`intspan`, `bigintspan`, `floatspan`, `datespan`, `tstzspan`).
+//!
+//! Discrete base types (integers, dates) are canonicalized to
+//! lower-inclusive / upper-exclusive form exactly as MEOS does, so
+//! `[1, 5]` and `[1, 6)` are the same `intspan`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{TemporalError, TemporalResult};
+use crate::time::{parse_date, parse_timestamp, Date, Interval, TimestampTz};
+
+/// A base type over which spans can be built.
+pub trait SpanValue: Copy + PartialEq + fmt::Debug {
+    /// The type used to shift values of this base type.
+    type Delta: Copy + fmt::Debug;
+    /// Discrete types canonicalize bounds; continuous ones keep them.
+    const DISCRETE: bool;
+
+    fn cmp_v(&self, other: &Self) -> Ordering;
+    /// Successor (discrete types only; continuous types return self).
+    fn succ(self) -> Self;
+    /// Predecessor (discrete types only).
+    fn pred(self) -> Self;
+    fn add_delta(self, d: Self::Delta) -> Self;
+    /// `self - other` as a delta.
+    fn delta_from(self, other: Self) -> Self::Delta;
+    fn to_double(self) -> f64;
+    fn from_double(v: f64) -> Self;
+    fn parse_value(s: &str) -> TemporalResult<Self>;
+    fn write_value(&self, out: &mut String);
+}
+
+impl SpanValue for i64 {
+    type Delta = i64;
+    const DISCRETE: bool = true;
+
+    fn cmp_v(&self, other: &Self) -> Ordering {
+        self.cmp(other)
+    }
+    fn succ(self) -> Self {
+        self + 1
+    }
+    fn pred(self) -> Self {
+        self - 1
+    }
+    fn add_delta(self, d: i64) -> Self {
+        self + d
+    }
+    fn delta_from(self, other: Self) -> i64 {
+        self - other
+    }
+    fn to_double(self) -> f64 {
+        self as f64
+    }
+    fn from_double(v: f64) -> Self {
+        v.round() as i64
+    }
+    fn parse_value(s: &str) -> TemporalResult<Self> {
+        s.trim()
+            .parse()
+            .map_err(|_| TemporalError::Parse(format!("invalid integer {s:?}")))
+    }
+    fn write_value(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl SpanValue for f64 {
+    type Delta = f64;
+    const DISCRETE: bool = false;
+
+    fn cmp_v(&self, other: &Self) -> Ordering {
+        self.partial_cmp(other).expect("NaN in span")
+    }
+    fn succ(self) -> Self {
+        self
+    }
+    fn pred(self) -> Self {
+        self
+    }
+    fn add_delta(self, d: f64) -> Self {
+        self + d
+    }
+    fn delta_from(self, other: Self) -> f64 {
+        self - other
+    }
+    fn to_double(self) -> f64 {
+        self
+    }
+    fn from_double(v: f64) -> Self {
+        v
+    }
+    fn parse_value(s: &str) -> TemporalResult<Self> {
+        s.trim()
+            .parse()
+            .map_err(|_| TemporalError::Parse(format!("invalid float {s:?}")))
+    }
+    fn write_value(&self, out: &mut String) {
+        out.push_str(&mduck_geo::wkt::fmt_coord(*self, None));
+    }
+}
+
+impl SpanValue for Date {
+    type Delta = i32;
+    const DISCRETE: bool = true;
+
+    fn cmp_v(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+    fn succ(self) -> Self {
+        Date(self.0 + 1)
+    }
+    fn pred(self) -> Self {
+        Date(self.0 - 1)
+    }
+    fn add_delta(self, d: i32) -> Self {
+        Date(self.0 + d)
+    }
+    fn delta_from(self, other: Self) -> i32 {
+        self.0 - other.0
+    }
+    fn to_double(self) -> f64 {
+        self.0 as f64
+    }
+    fn from_double(v: f64) -> Self {
+        Date(v.round() as i32)
+    }
+    fn parse_value(s: &str) -> TemporalResult<Self> {
+        parse_date(s)
+    }
+    fn write_value(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl SpanValue for TimestampTz {
+    type Delta = Interval;
+    const DISCRETE: bool = false;
+
+    fn cmp_v(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+    fn succ(self) -> Self {
+        self
+    }
+    fn pred(self) -> Self {
+        self
+    }
+    fn add_delta(self, d: Interval) -> Self {
+        self.add_interval(&d)
+    }
+    fn delta_from(self, other: Self) -> Interval {
+        Interval::from_usecs(self.0 - other.0)
+    }
+    fn to_double(self) -> f64 {
+        self.0 as f64
+    }
+    fn from_double(v: f64) -> Self {
+        TimestampTz(v.round() as i64)
+    }
+    fn parse_value(s: &str) -> TemporalResult<Self> {
+        parse_timestamp(s)
+    }
+    fn write_value(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+/// A non-empty interval over `T`, with inclusive/exclusive bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span<T: SpanValue> {
+    pub lower: T,
+    pub upper: T,
+    pub lower_inc: bool,
+    pub upper_inc: bool,
+}
+
+/// Span over 64-bit integers (`intspan` / `bigintspan`).
+pub type IntSpan = Span<i64>;
+/// Span over floats (`floatspan`).
+pub type FloatSpan = Span<f64>;
+/// Span over dates (`datespan`).
+pub type DateSpan = Span<Date>;
+/// Span over timestamps (`tstzspan`, MobilityDB's *period*).
+pub type TstzSpan = Span<TimestampTz>;
+
+impl<T: SpanValue> Span<T> {
+    /// Construct with validation and (for discrete types) canonicalization.
+    pub fn new(lower: T, upper: T, lower_inc: bool, upper_inc: bool) -> TemporalResult<Self> {
+        let mut s = Span { lower, upper, lower_inc, upper_inc };
+        if T::DISCRETE {
+            if !s.lower_inc {
+                s.lower = s.lower.succ();
+                s.lower_inc = true;
+            }
+            if s.upper_inc {
+                s.upper = s.upper.succ();
+                s.upper_inc = false;
+            }
+        }
+        match s.lower.cmp_v(&s.upper) {
+            Ordering::Greater => {
+                return Err(TemporalError::Invalid("span lower bound above upper".into()))
+            }
+            Ordering::Equal => {
+                if !(s.lower_inc && s.upper_inc) {
+                    return Err(TemporalError::Invalid("empty span".into()));
+                }
+            }
+            Ordering::Less => {}
+        }
+        Ok(s)
+    }
+
+    /// Inclusive single-value span `[v, v]`.
+    pub fn singleton(v: T) -> Self {
+        if T::DISCRETE {
+            Span { lower: v, upper: v.succ(), lower_inc: true, upper_inc: false }
+        } else {
+            Span { lower: v, upper: v, lower_inc: true, upper_inc: true }
+        }
+    }
+
+    /// Inclusive-inclusive convenience constructor.
+    pub fn closed(lower: T, upper: T) -> TemporalResult<Self> {
+        Span::new(lower, upper, true, true)
+    }
+
+    /// True when the span contains value `v`.
+    pub fn contains_value(&self, v: T) -> bool {
+        let lo = match v.cmp_v(&self.lower) {
+            Ordering::Less => false,
+            Ordering::Equal => self.lower_inc,
+            Ordering::Greater => true,
+        };
+        let hi = match v.cmp_v(&self.upper) {
+            Ordering::Greater => false,
+            Ordering::Equal => self.upper_inc,
+            Ordering::Less => true,
+        };
+        lo && hi
+    }
+
+    /// True when `other` lies fully inside `self` (`@>`).
+    pub fn contains_span(&self, other: &Span<T>) -> bool {
+        let lo = match self.lower.cmp_v(&other.lower) {
+            Ordering::Less => true,
+            Ordering::Equal => self.lower_inc || !other.lower_inc,
+            Ordering::Greater => false,
+        };
+        let hi = match self.upper.cmp_v(&other.upper) {
+            Ordering::Greater => true,
+            Ordering::Equal => self.upper_inc || !other.upper_inc,
+            Ordering::Less => false,
+        };
+        lo && hi
+    }
+
+    /// Overlap test (`&&`).
+    pub fn overlaps(&self, other: &Span<T>) -> bool {
+        // self.lower <= other.upper && other.lower <= self.upper with
+        // bound-inclusion care.
+        let a = match self.lower.cmp_v(&other.upper) {
+            Ordering::Less => true,
+            Ordering::Equal => self.lower_inc && other.upper_inc,
+            Ordering::Greater => false,
+        };
+        let b = match other.lower.cmp_v(&self.upper) {
+            Ordering::Less => true,
+            Ordering::Equal => other.lower_inc && self.upper_inc,
+            Ordering::Greater => false,
+        };
+        a && b
+    }
+
+    /// Strictly-left test (`<<`).
+    pub fn left_of(&self, other: &Span<T>) -> bool {
+        match self.upper.cmp_v(&other.lower) {
+            Ordering::Less => true,
+            Ordering::Equal => !(self.upper_inc && other.lower_inc),
+            Ordering::Greater => false,
+        }
+    }
+
+    /// Adjacency: spans touch without overlapping (`-|-`).
+    pub fn adjacent(&self, other: &Span<T>) -> bool {
+        (self.upper == other.lower && (self.upper_inc != other.lower_inc))
+            || (other.upper == self.lower && (other.upper_inc != self.lower_inc))
+    }
+
+    /// Intersection, `None` when disjoint.
+    pub fn intersection(&self, other: &Span<T>) -> Option<Span<T>> {
+        if !self.overlaps(other) {
+            return None;
+        }
+        let (lower, lower_inc) = match self.lower.cmp_v(&other.lower) {
+            Ordering::Greater => (self.lower, self.lower_inc),
+            Ordering::Less => (other.lower, other.lower_inc),
+            Ordering::Equal => (self.lower, self.lower_inc && other.lower_inc),
+        };
+        let (upper, upper_inc) = match self.upper.cmp_v(&other.upper) {
+            Ordering::Less => (self.upper, self.upper_inc),
+            Ordering::Greater => (other.upper, other.upper_inc),
+            Ordering::Equal => (self.upper, self.upper_inc && other.upper_inc),
+        };
+        Span::new(lower, upper, lower_inc, upper_inc).ok()
+    }
+
+    /// Union when overlapping or adjacent, `None` otherwise.
+    pub fn union_if_touching(&self, other: &Span<T>) -> Option<Span<T>> {
+        if !self.overlaps(other) && !self.adjacent(other) {
+            return None;
+        }
+        let (lower, lower_inc) = match self.lower.cmp_v(&other.lower) {
+            Ordering::Less => (self.lower, self.lower_inc),
+            Ordering::Greater => (other.lower, other.lower_inc),
+            Ordering::Equal => (self.lower, self.lower_inc || other.lower_inc),
+        };
+        let (upper, upper_inc) = match self.upper.cmp_v(&other.upper) {
+            Ordering::Greater => (self.upper, self.upper_inc),
+            Ordering::Less => (other.upper, other.upper_inc),
+            Ordering::Equal => (self.upper, self.upper_inc || other.upper_inc),
+        };
+        Some(Span { lower, upper, lower_inc, upper_inc })
+    }
+
+    /// `self` minus `other`: zero, one, or two remaining pieces.
+    pub fn minus(&self, other: &Span<T>) -> Vec<Span<T>> {
+        match self.intersection(other) {
+            None => vec![*self],
+            Some(ix) => {
+                let mut out = Vec::new();
+                if let Ok(left) = Span::new(self.lower, ix.lower, self.lower_inc, !ix.lower_inc) {
+                    out.push(left);
+                }
+                if let Ok(right) = Span::new(ix.upper, self.upper, !ix.upper_inc, self.upper_inc) {
+                    out.push(right);
+                }
+                out
+            }
+        }
+    }
+
+    /// Width as a double (duration in microseconds for `tstzspan`).
+    pub fn width(&self) -> f64 {
+        self.upper.to_double() - self.lower.to_double()
+    }
+
+    /// Distance between spans as a double, 0 when they overlap.
+    pub fn distance(&self, other: &Span<T>) -> f64 {
+        if self.overlaps(other) {
+            0.0
+        } else if self.left_of(other) {
+            (other.lower.to_double() - self.upper.to_double()).max(0.0)
+        } else {
+            (self.lower.to_double() - other.upper.to_double()).max(0.0)
+        }
+    }
+
+    /// Shift both bounds by `delta`.
+    pub fn shift(&self, delta: T::Delta) -> Span<T> {
+        Span {
+            lower: self.lower.add_delta(delta),
+            upper: self.upper.add_delta(delta),
+            lower_inc: self.lower_inc,
+            upper_inc: self.upper_inc,
+        }
+    }
+
+    /// Rescale so the width becomes `new_width` (anchored at the lower
+    /// bound); used by `scale()`/`shiftScale()`.
+    pub fn scale_width(&self, new_width: f64) -> TemporalResult<Span<T>> {
+        if new_width <= 0.0 {
+            return Err(TemporalError::Invalid("scale width must be positive".into()));
+        }
+        let lower = self.lower;
+        let upper = T::from_double(lower.to_double() + new_width);
+        Span::new(lower, upper, self.lower_inc, true).or_else(|_| {
+            Span::new(lower, upper, self.lower_inc, self.upper_inc)
+        })
+    }
+
+    /// Expand each bound outward by `delta` (interpreting `delta` as an
+    /// amount to subtract from lower / add to upper).
+    pub fn expand(&self, delta: T::Delta) -> TemporalResult<Span<T>>
+    where
+        T::Delta: std::ops::Neg<Output = T::Delta>,
+    {
+        Span::new(
+            self.lower.add_delta(-delta),
+            self.upper.add_delta(delta),
+            self.lower_inc,
+            self.upper_inc,
+        )
+    }
+
+    /// Total order for sorting: by lower bound then upper.
+    pub fn cmp_span(&self, other: &Span<T>) -> Ordering {
+        self.lower
+            .cmp_v(&other.lower)
+            .then_with(|| other.lower_inc.cmp(&self.lower_inc))
+            .then_with(|| self.upper.cmp_v(&other.upper))
+            .then_with(|| self.upper_inc.cmp(&other.upper_inc))
+    }
+}
+
+impl TstzSpan {
+    /// Duration of the period as an interval.
+    pub fn duration(&self) -> Interval {
+        Interval::from_usecs(self.upper.0 - self.lower.0)
+    }
+}
+
+impl<T: SpanValue> fmt::Display for Span<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        s.push(if self.lower_inc { '[' } else { '(' });
+        self.lower.write_value(&mut s);
+        s.push_str(", ");
+        self.upper.write_value(&mut s);
+        s.push(if self.upper_inc { ']' } else { ')' });
+        f.write_str(&s)
+    }
+}
+
+/// Parse a span literal `[lo, hi)` / `(lo, hi]` with a type-specific value
+/// parser supplied by `T`.
+pub fn parse_span<T: SpanValue>(s: &str) -> TemporalResult<Span<T>> {
+    let s = s.trim();
+    let bad = || TemporalError::Parse(format!("invalid span {s:?}"));
+    let mut chars = s.chars();
+    let lower_inc = match chars.next() {
+        Some('[') => true,
+        Some('(') => false,
+        _ => return Err(bad()),
+    };
+    let upper_inc = match s.chars().last() {
+        Some(']') => true,
+        Some(')') => false,
+        _ => return Err(bad()),
+    };
+    let inner = &s[1..s.len() - 1];
+    let comma = inner.find(',').ok_or_else(bad)?;
+    let lower = T::parse_value(inner[..comma].trim())?;
+    let upper = T::parse_value(inner[comma + 1..].trim())?;
+    Span::new(lower, upper, lower_inc, upper_inc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn isp(s: &str) -> IntSpan {
+        parse_span(s).unwrap()
+    }
+    fn fsp(s: &str) -> FloatSpan {
+        parse_span(s).unwrap()
+    }
+    fn tsp(s: &str) -> TstzSpan {
+        parse_span(s).unwrap()
+    }
+
+    #[test]
+    fn discrete_canonicalization() {
+        assert_eq!(isp("[1, 5]"), isp("[1, 6)"));
+        assert_eq!(isp("(0, 5]").lower, 1);
+        assert_eq!(isp("[1, 5]").to_string(), "[1, 6)");
+        // Continuous spans keep their bounds.
+        assert_eq!(fsp("[1.5, 2.5]").to_string(), "[1.5, 2.5]");
+        assert_eq!(fsp("(1, 2)").to_string(), "(1, 2)");
+    }
+
+    #[test]
+    fn invalid_spans_rejected() {
+        assert!(parse_span::<i64>("[5, 1]").is_err());
+        assert!(parse_span::<f64>("(1, 1)").is_err());
+        assert!(parse_span::<f64>("[1, 1]").is_ok());
+        assert!(parse_span::<i64>("1, 2").is_err());
+        assert!(parse_span::<i64>("[1 2]").is_err());
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let s = fsp("[1, 5)");
+        assert!(s.contains_value(1.0));
+        assert!(s.contains_value(4.999));
+        assert!(!s.contains_value(5.0));
+        assert!(s.overlaps(&fsp("[4, 9]")));
+        assert!(!s.overlaps(&fsp("[5, 9]"))); // 5 excluded from s
+        assert!(s.overlaps(&fsp("(0, 1]"))); // touch at included 1
+        assert!(s.contains_span(&fsp("[2, 3]")));
+        assert!(!s.contains_span(&fsp("[2, 5]")));
+        assert!(s.contains_span(&fsp("[2, 5)")));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let s = fsp("[0, 10]");
+        let ix = s.intersection(&fsp("[5, 15]")).unwrap();
+        assert_eq!(ix, fsp("[5, 10]"));
+        assert!(s.intersection(&fsp("[11, 15]")).is_none());
+        let u = s.union_if_touching(&fsp("[10, 15]")).unwrap();
+        assert_eq!(u, fsp("[0, 15]"));
+        assert!(fsp("[0, 1)").union_if_touching(&fsp("(1, 2]")).is_none());
+        assert!(fsp("[0, 1)").union_if_touching(&fsp("[1, 2]")).is_some()); // adjacent
+        let m = s.minus(&fsp("[3, 4]"));
+        assert_eq!(m, vec![fsp("[0, 3)"), fsp("(4, 10]")]);
+        assert_eq!(s.minus(&fsp("[-5, 20]")), vec![]);
+        assert_eq!(s.minus(&fsp("[-5, 0]")), vec![fsp("(0, 10]")]);
+    }
+
+    #[test]
+    fn left_and_adjacent() {
+        assert!(fsp("[0, 1)").left_of(&fsp("[1, 2]")));
+        assert!(!fsp("[0, 1]").left_of(&fsp("[1, 2]")));
+        assert!(fsp("[0, 1)").adjacent(&fsp("[1, 2]")));
+        assert!(!fsp("[0, 1)").adjacent(&fsp("(1, 2]")));
+        assert!(!fsp("[0, 1]").adjacent(&fsp("[1, 2]"))); // overlap, not adjacency
+    }
+
+    #[test]
+    fn tstz_span_duration_and_shift() {
+        let p = tsp("[2025-01-01, 2025-01-03)");
+        assert_eq!(p.duration().to_string(), "2 days");
+        let shifted = p.shift(Interval::from_days(1));
+        assert_eq!(shifted.lower.to_string(), "2025-01-02 00:00:00+00");
+        assert_eq!(p.width(), 2.0 * crate::time::USECS_PER_DAY as f64);
+    }
+
+    #[test]
+    fn distance_between_spans() {
+        assert_eq!(isp("[1, 3]").distance(&isp("[10, 12]")), 6.0); // [1,4) .. [10,13)
+        assert_eq!(fsp("[1, 3]").distance(&fsp("[2, 5]")), 0.0);
+        assert_eq!(fsp("[10, 12]").distance(&fsp("[1, 3]")), 7.0);
+    }
+
+    #[test]
+    fn scale_and_expand() {
+        let s = fsp("[10, 20]");
+        let scaled = s.scale_width(5.0).unwrap();
+        assert_eq!(scaled, fsp("[10, 15]"));
+        assert!(s.scale_width(-1.0).is_err());
+        let e = s.expand(2.0).unwrap();
+        assert_eq!(e, fsp("[8, 22]"));
+    }
+
+    #[test]
+    fn singleton_spans() {
+        assert_eq!(IntSpan::singleton(5).to_string(), "[5, 6)");
+        assert_eq!(FloatSpan::singleton(5.0).to_string(), "[5, 5]");
+        assert!(IntSpan::singleton(5).contains_value(5));
+        assert!(!IntSpan::singleton(5).contains_value(6));
+    }
+}

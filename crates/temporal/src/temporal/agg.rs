@@ -1,0 +1,131 @@
+//! Temporal aggregates: `extent` (bounding-box union) and `tcount`
+//! (number of values defined at each instant of time).
+
+use crate::boxes::STBox;
+use crate::error::TemporalResult;
+use crate::span::TstzSpan;
+use crate::temporal::{Interp, TGeomPoint, TInstant, TSequence, Temporal};
+use crate::time::TimestampTz;
+
+/// Accumulator for the `extent` aggregate over `tgeompoint` / `stbox`
+/// inputs: the smallest `stbox` covering everything seen so far.
+#[derive(Debug, Clone, Default)]
+pub struct ExtentAgg {
+    acc: Option<STBox>,
+}
+
+impl ExtentAgg {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_stbox(&mut self, b: &STBox) -> TemporalResult<()> {
+        self.acc = Some(match &self.acc {
+            None => *b,
+            Some(a) => a.union(b)?,
+        });
+        Ok(())
+    }
+
+    pub fn add_tgeompoint(&mut self, t: &TGeomPoint) -> TemporalResult<()> {
+        self.add_stbox(&t.stbox())
+    }
+
+    pub fn finish(&self) -> Option<STBox> {
+        self.acc
+    }
+}
+
+/// Accumulator for the `tcount` aggregate: a step `tint` counting how many
+/// input temporals are defined at each moment, built by sweeping period
+/// endpoints.
+#[derive(Debug, Clone, Default)]
+pub struct TCountAgg {
+    periods: Vec<TstzSpan>,
+}
+
+impl TCountAgg {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_period(&mut self, p: TstzSpan) {
+        self.periods.push(p);
+    }
+
+    pub fn add_temporal<V: crate::temporal::TValue>(&mut self, t: &Temporal<V>) {
+        for s in t.time().spans() {
+            self.periods.push(*s);
+        }
+    }
+
+    /// The step `tint` of concurrent counts; `None` when nothing was added.
+    pub fn finish(&self) -> Option<Temporal<i64>> {
+        if self.periods.is_empty() {
+            return None;
+        }
+        // Sweep: +1 at each lower bound, −1 at each upper bound.
+        let mut events: Vec<(TimestampTz, i64)> = Vec::with_capacity(self.periods.len() * 2);
+        for p in &self.periods {
+            events.push((p.lower, 1));
+            events.push((p.upper, -1));
+        }
+        events.sort();
+        let mut instants: Vec<TInstant<i64>> = Vec::new();
+        let mut count = 0i64;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                count += events[i].1;
+                i += 1;
+            }
+            match instants.last() {
+                Some(last) if last.value == count => {}
+                _ => instants.push(TInstant::new(count, t)),
+            }
+        }
+        // Drop a trailing zero-count instant pair shape: keep as produced —
+        // the final instant records the count returning to 0.
+        let seq = TSequence::new(instants, true, true, Interp::Step).ok()?;
+        Some(Temporal::Sequence(seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::parse_span;
+    use crate::temporal::parse_tgeompoint;
+    use crate::time::parse_timestamp;
+
+    #[test]
+    fn extent_unions_boxes() {
+        let mut agg = ExtentAgg::new();
+        let a = parse_tgeompoint("[Point(0 0)@2025-01-01, Point(5 5)@2025-01-02]").unwrap();
+        let b = parse_tgeompoint("[Point(10 10)@2025-01-03, Point(12 1)@2025-01-04]").unwrap();
+        agg.add_tgeompoint(&a).unwrap();
+        agg.add_tgeompoint(&b).unwrap();
+        let e = agg.finish().unwrap();
+        let r = e.rect.unwrap();
+        assert_eq!((r.xmin, r.ymin, r.xmax, r.ymax), (0.0, 0.0, 12.0, 10.0));
+        assert_eq!(
+            e.period.unwrap().upper,
+            parse_timestamp("2025-01-04").unwrap()
+        );
+        assert!(ExtentAgg::new().finish().is_none());
+    }
+
+    #[test]
+    fn tcount_sweeps() {
+        let mut agg = TCountAgg::new();
+        agg.add_period(parse_span("[2025-01-01, 2025-01-03]").unwrap());
+        agg.add_period(parse_span("[2025-01-02, 2025-01-04]").unwrap());
+        let t = agg.finish().unwrap();
+        let at = |s: &str| t.value_at(parse_timestamp(s).unwrap());
+        assert_eq!(at("2025-01-01 12:00:00"), Some(1));
+        assert_eq!(at("2025-01-02 12:00:00"), Some(2));
+        assert_eq!(at("2025-01-03 12:00:00"), Some(1));
+        assert!(TCountAgg::new().finish().is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Tables (columnar storage) and the database catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mduck_sql::{Catalog, LogicalType, SqlError, SqlResult, Value};
+
+use crate::column::{Chunks, ColumnData, DataChunk, VECTOR_SIZE};
+use crate::index::TableIndex;
+
+/// A base table: full columnar storage plus any attached indexes.
+pub struct Table {
+    pub name: String,
+    pub column_names: Vec<String>,
+    pub columns: Vec<ColumnData>,
+    pub indexes: Vec<Box<dyn TableIndex>>,
+}
+
+impl Table {
+    pub fn new(name: String, columns: Vec<(String, LogicalType)>) -> Self {
+        Table {
+            name,
+            column_names: columns.iter().map(|(n, _)| n.to_ascii_lowercase()).collect(),
+            columns: columns.iter().map(|(_, t)| ColumnData::new(t)).collect(),
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map(ColumnData::len).unwrap_or(0)
+    }
+
+    pub fn column_types(&self) -> Vec<LogicalType> {
+        self.columns.iter().map(|c| c.ty.clone()).collect()
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.column_names.iter().position(|n| *n == lname)
+    }
+
+    /// Append rows, feeding attached indexes through the index-first
+    /// `Append` path (§4.2.1).
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> SqlResult<()> {
+        let first_row = self.row_count() as u64;
+        for row in rows {
+            if row.len() != self.columns.len() {
+                return Err(SqlError::execution(format!(
+                    "INSERT has {} values, table {} has {} columns",
+                    row.len(),
+                    self.name,
+                    self.columns.len()
+                )));
+            }
+            for (c, v) in self.columns.iter_mut().zip(row) {
+                c.push(v)?;
+            }
+        }
+        for index in &mut self.indexes {
+            let col = index.column();
+            let values: Vec<Value> = rows.iter().map(|r| r[col].clone()).collect();
+            index.append(&values, first_row)?;
+        }
+        Ok(())
+    }
+
+    /// All values of one column (for bulk index construction).
+    pub fn column_values(&self, col: usize) -> Vec<Value> {
+        (0..self.row_count()).map(|i| self.columns[col].get(i)).collect()
+    }
+
+    /// The table as execution chunks.
+    pub fn scan_chunks(&self) -> Chunks {
+        let n = self.row_count();
+        let mut out = Chunks::default();
+        let mut start = 0;
+        while start < n {
+            let len = VECTOR_SIZE.min(n - start);
+            let mut cols = Vec::with_capacity(self.columns.len());
+            for c in &self.columns {
+                let mut nc = ColumnData::new(&c.ty);
+                nc.extend_from(c, start, len);
+                cols.push(nc);
+            }
+            out.chunks.push(DataChunk::from_columns(cols));
+            start += len;
+        }
+        out
+    }
+
+    /// Gather specific row ids (index scan result path).
+    pub fn gather_rows(&self, row_ids: &[u64]) -> Chunks {
+        let sel: Vec<usize> = row_ids.iter().map(|&r| r as usize).collect();
+        let mut out = Chunks::default();
+        for chunk_sel in sel.chunks(VECTOR_SIZE) {
+            let cols: Vec<ColumnData> =
+                self.columns.iter().map(|c| c.gather(chunk_sel)).collect();
+            out.chunks.push(DataChunk::from_columns(cols));
+        }
+        out
+    }
+
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+}
+
+/// The database catalog: name → table.
+#[derive(Default, Clone)]
+pub struct DbCatalog {
+    tables: Arc<RwLock<HashMap<String, Arc<RwLock<Table>>>>>,
+}
+
+impl DbCatalog {
+    pub fn create_table(
+        &self,
+        name: &str,
+        columns: Vec<(String, LogicalType)>,
+        if_not_exists: bool,
+    ) -> SqlResult<()> {
+        let lname = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&lname) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(SqlError::Catalog(format!("table {name:?} already exists")));
+        }
+        tables.insert(lname.clone(), Arc::new(RwLock::new(Table::new(lname, columns))));
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> SqlResult<()> {
+        let lname = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.remove(&lname).is_none() && !if_exists {
+            return Err(SqlError::Catalog(format!("table {name:?} does not exist")));
+        }
+        Ok(())
+    }
+
+    pub fn get(&self, name: &str) -> SqlResult<Arc<RwLock<Table>>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| SqlError::Catalog(format!("table {name:?} does not exist")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl Catalog for DbCatalog {
+    fn table_schema(&self, name: &str) -> Option<Vec<(String, LogicalType)>> {
+        let t = self.tables.read().get(&name.to_ascii_lowercase())?.clone();
+        let t = t.read();
+        Some(
+            t.column_names
+                .iter()
+                .cloned()
+                .zip(t.columns.iter().map(|c| c.ty.clone()))
+                .collect(),
+        )
+    }
+}

@@ -1,0 +1,308 @@
+//! Columnar storage: typed column vectors with validity masks, and the
+//! [`DataChunk`] unit of vectorized execution (2048 rows, like DuckDB).
+
+use std::sync::Arc;
+
+use mduck_sql::{ExtValue, LogicalType, SqlError, SqlResult, Value};
+
+/// Rows per vectorized chunk.
+pub const VECTOR_SIZE: usize = 2048;
+
+/// A typed column with a validity mask. The payload vectors store a
+/// default value in invalid slots.
+#[derive(Debug, Clone)]
+pub struct ColumnData {
+    pub ty: LogicalType,
+    pub validity: Vec<bool>,
+    pub payload: Payload,
+}
+
+/// The typed payload of a column.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Text(Vec<Arc<str>>),
+    Blob(Vec<Arc<[u8]>>),
+    Timestamp(Vec<i64>),
+    Date(Vec<i32>),
+    Interval(Vec<(i32, i32, i64)>),
+    Ext(Vec<Option<ExtValue>>),
+    List(Vec<Option<Arc<Vec<Value>>>>),
+}
+
+impl ColumnData {
+    /// An empty column of the given logical type.
+    pub fn new(ty: &LogicalType) -> Self {
+        let payload = match ty {
+            LogicalType::Bool => Payload::Bool(Vec::new()),
+            LogicalType::Int | LogicalType::Null | LogicalType::Any => Payload::Int(Vec::new()),
+            LogicalType::Float => Payload::Float(Vec::new()),
+            LogicalType::Text => Payload::Text(Vec::new()),
+            LogicalType::Blob => Payload::Blob(Vec::new()),
+            LogicalType::Timestamp => Payload::Timestamp(Vec::new()),
+            LogicalType::Date => Payload::Date(Vec::new()),
+            LogicalType::Interval => Payload::Interval(Vec::new()),
+            LogicalType::Ext(_) => Payload::Ext(Vec::new()),
+            LogicalType::List => Payload::List(Vec::new()),
+        };
+        ColumnData { ty: ty.clone(), validity: Vec::new(), payload }
+    }
+
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// Append a runtime value (with implicit numeric coercion).
+    pub fn push(&mut self, v: &Value) -> SqlResult<()> {
+        if v.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        match (&mut self.payload, v) {
+            (Payload::Bool(p), Value::Bool(b)) => p.push(*b),
+            (Payload::Int(p), Value::Int(i)) => p.push(*i),
+            (Payload::Int(p), Value::Float(f)) => p.push(*f as i64),
+            (Payload::Float(p), Value::Float(f)) => p.push(*f),
+            (Payload::Float(p), Value::Int(i)) => p.push(*i as f64),
+            (Payload::Text(p), Value::Text(s)) => p.push(s.clone()),
+            (Payload::Blob(p), Value::Blob(b)) => p.push(b.clone()),
+            (Payload::Timestamp(p), Value::Timestamp(t)) => p.push(*t),
+            (Payload::Timestamp(p), Value::Date(d)) => p.push(*d as i64 * 86_400_000_000),
+            (Payload::Date(p), Value::Date(d)) => p.push(*d),
+            (Payload::Interval(p), Value::Interval { months, days, usecs }) => {
+                p.push((*months, *days, *usecs))
+            }
+            (Payload::Ext(p), Value::Ext(e)) => p.push(Some(e.clone())),
+            (Payload::List(p), Value::List(l)) => p.push(Some(l.clone())),
+            (payload, v) => {
+                return Err(SqlError::execution(format!(
+                    "cannot store {v:?} in a {payload:?} column"
+                )))
+            }
+        }
+        self.validity.push(true);
+        Ok(())
+    }
+
+    pub fn push_null(&mut self) {
+        match &mut self.payload {
+            Payload::Bool(p) => p.push(false),
+            Payload::Int(p) => p.push(0),
+            Payload::Float(p) => p.push(0.0),
+            Payload::Text(p) => p.push(Arc::from("")),
+            Payload::Blob(p) => p.push(Arc::from(&[][..])),
+            Payload::Timestamp(p) => p.push(0),
+            Payload::Date(p) => p.push(0),
+            Payload::Interval(p) => p.push((0, 0, 0)),
+            Payload::Ext(p) => p.push(None),
+            Payload::List(p) => p.push(None),
+        }
+        self.validity.push(false);
+    }
+
+    /// Read one value.
+    pub fn get(&self, i: usize) -> Value {
+        if !self.validity[i] {
+            return Value::Null;
+        }
+        match &self.payload {
+            Payload::Bool(p) => Value::Bool(p[i]),
+            Payload::Int(p) => Value::Int(p[i]),
+            Payload::Float(p) => Value::Float(p[i]),
+            Payload::Text(p) => Value::Text(p[i].clone()),
+            Payload::Blob(p) => Value::Blob(p[i].clone()),
+            Payload::Timestamp(p) => Value::Timestamp(p[i]),
+            Payload::Date(p) => Value::Date(p[i]),
+            Payload::Interval(p) => {
+                let (months, days, usecs) = p[i];
+                Value::Interval { months, days, usecs }
+            }
+            Payload::Ext(p) => match &p[i] {
+                Some(e) => Value::Ext(e.clone()),
+                None => Value::Null,
+            },
+            Payload::List(p) => match &p[i] {
+                Some(l) => Value::List(l.clone()),
+                None => Value::Null,
+            },
+        }
+    }
+
+    /// Gather the rows selected by `sel` into a new column.
+    pub fn gather(&self, sel: &[usize]) -> ColumnData {
+        let mut out = ColumnData::new(&self.ty);
+        out.validity.reserve(sel.len());
+        for &i in sel {
+            // Typed fast paths avoid Value boxing.
+            if !self.validity[i] {
+                out.push_null();
+                continue;
+            }
+            match (&self.payload, &mut out.payload) {
+                (Payload::Bool(a), Payload::Bool(b)) => b.push(a[i]),
+                (Payload::Int(a), Payload::Int(b)) => b.push(a[i]),
+                (Payload::Float(a), Payload::Float(b)) => b.push(a[i]),
+                (Payload::Text(a), Payload::Text(b)) => b.push(a[i].clone()),
+                (Payload::Blob(a), Payload::Blob(b)) => b.push(a[i].clone()),
+                (Payload::Timestamp(a), Payload::Timestamp(b)) => b.push(a[i]),
+                (Payload::Date(a), Payload::Date(b)) => b.push(a[i]),
+                (Payload::Interval(a), Payload::Interval(b)) => b.push(a[i]),
+                (Payload::Ext(a), Payload::Ext(b)) => b.push(a[i].clone()),
+                (Payload::List(a), Payload::List(b)) => b.push(a[i].clone()),
+                _ => unreachable!("same column type"),
+            }
+            out.validity.push(true);
+        }
+        out
+    }
+
+    /// Append a slice of another column of the same type.
+    pub fn extend_from(&mut self, other: &ColumnData, start: usize, len: usize) {
+        for i in start..start + len {
+            if !other.validity[i] {
+                self.push_null();
+            } else {
+                self.push(&other.get(i)).expect("same type");
+            }
+        }
+    }
+}
+
+/// A horizontal slice of vectors processed together.
+#[derive(Debug, Clone)]
+pub struct DataChunk {
+    pub columns: Vec<ColumnData>,
+    pub len: usize,
+}
+
+impl DataChunk {
+    pub fn new(types: &[LogicalType]) -> Self {
+        DataChunk { columns: types.iter().map(ColumnData::new).collect(), len: 0 }
+    }
+
+    pub fn from_columns(columns: Vec<ColumnData>) -> Self {
+        let len = columns.first().map(ColumnData::len).unwrap_or(0);
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        DataChunk { columns, len }
+    }
+
+    pub fn push_row(&mut self, row: &[Value]) -> SqlResult<()> {
+        debug_assert_eq!(row.len(), self.columns.len());
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(v)?;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Keep only the selected rows.
+    pub fn select(&self, sel: &[usize]) -> DataChunk {
+        DataChunk {
+            columns: self.columns.iter().map(|c| c.gather(sel)).collect(),
+            len: sel.len(),
+        }
+    }
+}
+
+/// A fully materialized intermediate relation (chunk list).
+#[derive(Debug, Clone, Default)]
+pub struct Chunks {
+    pub chunks: Vec<DataChunk>,
+}
+
+impl Chunks {
+    pub fn row_count(&self) -> usize {
+        self.chunks.iter().map(|c| c.len).sum()
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.chunks.first().map(|c| c.columns.len()).unwrap_or(0)
+    }
+
+    /// Iterate all rows (materializing values).
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        self.chunks.iter().flat_map(|c| (0..c.len).map(move |i| c.row(i)))
+    }
+
+    /// Flatten into a row list.
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        self.iter_rows().collect()
+    }
+
+    /// Build from rows with known column types.
+    pub fn from_rows(types: &[LogicalType], rows: &[Vec<Value>]) -> SqlResult<Chunks> {
+        let mut out = Chunks::default();
+        let mut current = DataChunk::new(types);
+        for row in rows {
+            current.push_row(row)?;
+            if current.len >= VECTOR_SIZE {
+                out.chunks.push(std::mem::replace(&mut current, DataChunk::new(types)));
+            }
+        }
+        if current.len > 0 {
+            out.chunks.push(current);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut c = ColumnData::new(&LogicalType::Int);
+        c.push(&Value::Int(5)).unwrap();
+        c.push_null();
+        c.push(&Value::Float(7.0)).unwrap(); // coerces
+        assert_eq!(c.get(0), Value::Int(5));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(7));
+        assert!(c.push(&Value::text("x")).is_err());
+    }
+
+    #[test]
+    fn gather_selects() {
+        let mut c = ColumnData::new(&LogicalType::Text);
+        for s in ["a", "b", "c", "d"] {
+            c.push(&Value::text(s)).unwrap();
+        }
+        let g = c.gather(&[3, 1]);
+        assert_eq!(g.get(0), Value::text("d"));
+        assert_eq!(g.get(1), Value::text("b"));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        let types = vec![LogicalType::Int, LogicalType::Text];
+        let rows = vec![
+            vec![Value::Int(1), Value::text("one")],
+            vec![Value::Null, Value::text("two")],
+        ];
+        let chunks = Chunks::from_rows(&types, &rows).unwrap();
+        assert_eq!(chunks.row_count(), 2);
+        assert_eq!(chunks.to_rows(), rows);
+    }
+
+    #[test]
+    fn chunking_splits_at_vector_size() {
+        let types = vec![LogicalType::Int];
+        let rows: Vec<Vec<Value>> = (0..VECTOR_SIZE + 10).map(|i| vec![Value::Int(i as i64)]).collect();
+        let chunks = Chunks::from_rows(&types, &rows).unwrap();
+        assert_eq!(chunks.chunks.len(), 2);
+        assert_eq!(chunks.chunks[0].len, VECTOR_SIZE);
+        assert_eq!(chunks.row_count(), VECTOR_SIZE + 10);
+    }
+}

@@ -1,0 +1,566 @@
+//! The embeddable database instance: the `duckdb.Connection` analogue.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mduck_sql::ast::{InsertSource, Statement};
+use mduck_sql::eval::{eval, OuterStack};
+use mduck_sql::{
+    parse_statement, Binder, Catalog, LogicalType, Registry, Schema, SqlError, SqlResult, Value,
+};
+
+use crate::catalog::{DbCatalog, Table};
+use crate::exec::{execute_select, plan_joins, EngineCtx};
+use crate::explain::render_plan;
+use crate::index::IndexTypeRegistry;
+
+/// A query result: output schema plus materialized rows.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Schema,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    pub fn empty() -> Self {
+        QueryResult { schema: Schema::default(), rows: Vec::new() }
+    }
+
+    /// Column names.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.schema.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Single scalar convenience accessor.
+    pub fn scalar(&self) -> SqlResult<&Value> {
+        self.rows
+            .first()
+            .and_then(|r| r.first())
+            .ok_or_else(|| SqlError::execution("query returned no rows"))
+    }
+
+    /// ASCII table rendering for examples and demos.
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> =
+            self.schema.fields.iter().map(|f| f.name.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .schema
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| format!("{:width$}", f.name, width = widths[i]))
+            .collect();
+        out.push_str(&header.join(" │ "));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "─".repeat(*w)).collect::<Vec<_>>().join("─┼─"));
+        out.push('\n');
+        for row in rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&line.join(" │ "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An in-process database instance (the DuckDB substrate).
+///
+/// Extensions install themselves by mutating [`Database::registry`] and
+/// [`Database::index_types`] at load time, exactly as MobilityDuck
+/// registers its types, functions, casts, operators, and the TRTREE index
+/// type against DuckDB (§3.3–§4.1).
+pub struct Database {
+    pub catalog: DbCatalog,
+    registry: Arc<RwLock<Registry>>,
+    index_types: Arc<RwLock<IndexTypeRegistry>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// A fresh instance with the built-in SQL surface.
+    pub fn new() -> Self {
+        Database {
+            catalog: DbCatalog::default(),
+            registry: Arc::new(RwLock::new(Registry::with_builtins())),
+            index_types: Arc::new(RwLock::new(IndexTypeRegistry::default())),
+        }
+    }
+
+    /// Mutate the function/type/cast registry (extension load hook).
+    pub fn registry_mut(&self) -> parking_lot::RwLockWriteGuard<'_, Registry> {
+        self.registry.write()
+    }
+
+    pub fn registry(&self) -> parking_lot::RwLockReadGuard<'_, Registry> {
+        self.registry.read()
+    }
+
+    /// Mutate the index-type registry (extension load hook).
+    pub fn index_types_mut(&self) -> parking_lot::RwLockWriteGuard<'_, IndexTypeRegistry> {
+        self.index_types.write()
+    }
+
+    /// Execute one SQL statement. `SHOW TABLES` and `DESCRIBE <table>`
+    /// are handled as utility statements, as in DuckDB's shell.
+    pub fn execute(&self, sql: &str) -> SqlResult<QueryResult> {
+        let trimmed = sql.trim().trim_end_matches(';').trim();
+        if trimmed.eq_ignore_ascii_case("show tables") {
+            let rows: Vec<Vec<Value>> = self
+                .catalog
+                .table_names()
+                .into_iter()
+                .map(|n| vec![Value::text(n)])
+                .collect();
+            return Ok(QueryResult {
+                schema: Schema::new(vec![mduck_sql::Field {
+                    name: "name".into(),
+                    table: None,
+                    ty: LogicalType::Text,
+                }]),
+                rows,
+            });
+        }
+        if let Some(rest) = strip_keyword(trimmed, "describe") {
+            let cols = self
+                .catalog
+                .table_schema(rest.trim())
+                .ok_or_else(|| SqlError::Catalog(format!("table {rest:?} does not exist")))?;
+            let rows: Vec<Vec<Value>> = cols
+                .into_iter()
+                .map(|(n, ty)| vec![Value::text(n), Value::text(ty.name())])
+                .collect();
+            return Ok(QueryResult {
+                schema: Schema::new(vec![
+                    mduck_sql::Field { name: "column_name".into(), table: None, ty: LogicalType::Text },
+                    mduck_sql::Field { name: "column_type".into(), table: None, ty: LogicalType::Text },
+                ]),
+                rows,
+            });
+        }
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning the last result.
+    pub fn execute_script(&self, sql: &str) -> SqlResult<QueryResult> {
+        let stmts = mduck_sql::parse_script(sql)?;
+        let mut last = QueryResult::empty();
+        for s in &stmts {
+            last = self.execute_statement(s)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_statement(&self, stmt: &Statement) -> SqlResult<QueryResult> {
+        match stmt {
+            Statement::Select(sel) => {
+                let registry = self.registry.read();
+                let mut binder = Binder::new(&self.catalog, &registry);
+                let plan = binder.bind_select(sel)?;
+                let ctx = EngineCtx::new(&self.catalog, &registry);
+                let rows = execute_select(&ctx, &plan, &OuterStack::EMPTY)?;
+                Ok(QueryResult { schema: plan.output_schema, rows })
+            }
+            Statement::Explain(inner) => {
+                let Statement::Select(sel) = inner.as_ref() else {
+                    return Err(SqlError::Bind("EXPLAIN supports SELECT".into()));
+                };
+                let registry = self.registry.read();
+                let mut binder = Binder::new(&self.catalog, &registry);
+                let plan = binder.bind_select(sel)?;
+                let ctx = EngineCtx::new(&self.catalog, &registry);
+                let (tree, remaining) = plan_joins(&ctx, &plan)?;
+                let text = render_plan(&plan, &tree, &remaining);
+                Ok(QueryResult {
+                    schema: Schema::new(vec![mduck_sql::Field {
+                        name: "explain".into(),
+                        table: None,
+                        ty: LogicalType::Text,
+                    }]),
+                    rows: vec![vec![Value::text(text)]],
+                })
+            }
+            Statement::CreateTable { name, columns, if_not_exists } => {
+                let registry = self.registry.read();
+                let mut cols = Vec::with_capacity(columns.len());
+                for (cname, tname) in columns {
+                    cols.push((cname.clone(), registry.resolve_type(tname)?));
+                }
+                self.catalog.create_table(name, cols, *if_not_exists)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::DropTable { name, if_exists } => {
+                self.catalog.drop_table(name, *if_exists)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::CreateIndex { name, table, method, column } => {
+                self.create_index(name, table, method, column)?;
+                Ok(QueryResult::empty())
+            }
+            Statement::Insert { table, columns, source } => {
+                let n = self.insert(table, columns.as_deref(), source)?;
+                Ok(QueryResult {
+                    schema: Schema::new(vec![mduck_sql::Field {
+                        name: "count".into(),
+                        table: None,
+                        ty: LogicalType::Int,
+                    }]),
+                    rows: vec![vec![Value::Int(n as i64)]],
+                })
+            }
+            Statement::Update { table, sets, where_clause } => {
+                let n = self.update(table, sets, where_clause.as_ref())?;
+                Ok(QueryResult {
+                    schema: Schema::new(vec![mduck_sql::Field {
+                        name: "count".into(),
+                        table: None,
+                        ty: LogicalType::Int,
+                    }]),
+                    rows: vec![vec![Value::Int(n as i64)]],
+                })
+            }
+            Statement::Delete { table, where_clause } => {
+                let n = self.delete(table, where_clause.as_ref())?;
+                Ok(QueryResult {
+                    schema: Schema::new(vec![mduck_sql::Field {
+                        name: "count".into(),
+                        table: None,
+                        ty: LogicalType::Int,
+                    }]),
+                    rows: vec![vec![Value::Int(n as i64)]],
+                })
+            }
+        }
+    }
+
+    /// `CREATE INDEX ... USING <method>(col)`: the data-first bulk path
+    /// (§4.2.2).
+    fn create_index(&self, name: &str, table: &str, method: &str, column: &str) -> SqlResult<()> {
+        let method = if method.is_empty() { "TRTREE".to_string() } else { method.to_uppercase() };
+        let index_type = self
+            .index_types
+            .read()
+            .get(&method)
+            .ok_or_else(|| SqlError::Catalog(format!("unknown index type {method:?}")))?;
+        let t = self.catalog.get(table)?;
+        let mut t = t.write();
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| SqlError::Catalog(format!("no column {column:?} in {table:?}")))?;
+        let ty = t.columns[col].ty.clone();
+        if !index_type.can_index(&ty) {
+            return Err(SqlError::Catalog(format!(
+                "index method {method} cannot index type {}",
+                ty.name()
+            )));
+        }
+        if t.indexes.iter().any(|i| i.name() == name) {
+            return Err(SqlError::Catalog(format!("index {name:?} already exists")));
+        }
+        let existing = t.column_values(col);
+        let index = index_type.create(name, col, &ty, &existing)?;
+        t.indexes.push(index);
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+    ) -> SqlResult<usize> {
+        let registry = self.registry.read();
+        // Compute the incoming rows first (they may SELECT from the target).
+        let incoming: Vec<Vec<Value>> = match source {
+            InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        let bound =
+                            mduck_sql::binder::bind_constant_expr(e, &self.catalog, &registry)?;
+                        vals.push(eval(
+                            &bound,
+                            &[],
+                            &OuterStack::EMPTY,
+                            &mduck_sql::eval::NoSubqueries,
+                        )?);
+                    }
+                    out.push(vals);
+                }
+                out
+            }
+            InsertSource::Select(sel) => {
+                let mut binder = Binder::new(&self.catalog, &registry);
+                let plan = binder.bind_select(sel)?;
+                let ctx = EngineCtx::new(&self.catalog, &registry);
+                execute_select(&ctx, &plan, &OuterStack::EMPTY)?
+            }
+        };
+        let t = self.catalog.get(table)?;
+        let mut t = t.write();
+        let rows = reorder_for_insert(&t, columns, incoming)?;
+        let rows = coerce_rows(&registry, &t.column_types(), rows)?;
+        let n = rows.len();
+        t.append_rows(&rows)?;
+        Ok(n)
+    }
+
+    fn update(
+        &self,
+        table: &str,
+        sets: &[(String, mduck_sql::Expr)],
+        where_clause: Option<&mduck_sql::Expr>,
+    ) -> SqlResult<usize> {
+        let registry = self.registry.read();
+        let t_arc = self.catalog.get(table)?;
+        // Bind against the table schema.
+        let schema_cols = self
+            .catalog
+            .table_schema(table)
+            .ok_or_else(|| SqlError::Catalog(format!("table {table:?} does not exist")))?;
+        let schema = Schema::new(
+            schema_cols
+                .iter()
+                .map(|(n, ty)| mduck_sql::Field {
+                    name: n.clone(),
+                    table: Some(table.to_ascii_lowercase()),
+                    ty: ty.clone(),
+                })
+                .collect(),
+        );
+        let mut binder = Binder::new(&self.catalog, &registry);
+        let bound_sets: SqlResult<Vec<(usize, mduck_sql::BoundExpr)>> = sets
+            .iter()
+            .map(|(col, e)| {
+                let idx = schema
+                    .resolve(None, &col.to_ascii_lowercase())
+                    .map_err(|_| SqlError::Catalog(format!("no column {col:?}")))?;
+                Ok((idx, binder.bind_expr(e, &schema)?))
+            })
+            .collect();
+        let bound_sets = bound_sets?;
+        let bound_where = match where_clause {
+            Some(w) => Some(binder.bind_expr(w, &schema)?),
+            None => None,
+        };
+        let mut t = t_arc.write();
+        let n_rows = t.row_count();
+        let mut updated = 0usize;
+        let no_sub = mduck_sql::eval::NoSubqueries;
+        // Gather replacements per column, then rebuild each affected column
+        // once (columns are immutable vectors; cell-wise rebuilds would be
+        // quadratic).
+        let mut replacements: Vec<Vec<(usize, Value)>> = vec![Vec::new(); bound_sets.len()];
+        for i in 0..n_rows {
+            let row = t.row(i);
+            if let Some(w) = &bound_where {
+                if !matches!(eval(w, &row, &OuterStack::EMPTY, &no_sub)?, Value::Bool(true)) {
+                    continue;
+                }
+            }
+            for (k, (_, e)) in bound_sets.iter().enumerate() {
+                let v = eval(e, &row, &OuterStack::EMPTY, &no_sub)?;
+                replacements[k].push((i, v));
+            }
+            updated += 1;
+        }
+        for (k, (col, _)) in bound_sets.iter().enumerate() {
+            rebuild_column(&mut t, *col, &replacements[k])?;
+        }
+        // Indexes over updated columns are rebuilt wholesale.
+        rebuild_indexes_for_columns(
+            &mut t,
+            &bound_sets.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            &self.index_types.read(),
+        )?;
+        Ok(updated)
+    }
+
+    fn delete(&self, table: &str, where_clause: Option<&mduck_sql::Expr>) -> SqlResult<usize> {
+        let registry = self.registry.read();
+        let schema_cols = self
+            .catalog
+            .table_schema(table)
+            .ok_or_else(|| SqlError::Catalog(format!("table {table:?} does not exist")))?;
+        let schema = Schema::new(
+            schema_cols
+                .iter()
+                .map(|(n, ty)| mduck_sql::Field {
+                    name: n.clone(),
+                    table: Some(table.to_ascii_lowercase()),
+                    ty: ty.clone(),
+                })
+                .collect(),
+        );
+        let mut binder = Binder::new(&self.catalog, &registry);
+        let bound_where = match where_clause {
+            Some(w) => Some(binder.bind_expr(w, &schema)?),
+            None => None,
+        };
+        let t_arc = self.catalog.get(table)?;
+        let mut t = t_arc.write();
+        let no_sub = mduck_sql::eval::NoSubqueries;
+        let mut keep: Vec<usize> = Vec::new();
+        let n_rows = t.row_count();
+        for i in 0..n_rows {
+            let row = t.row(i);
+            let delete = match &bound_where {
+                Some(w) => {
+                    matches!(eval(w, &row, &OuterStack::EMPTY, &no_sub)?, Value::Bool(true))
+                }
+                None => true,
+            };
+            if !delete {
+                keep.push(i);
+            }
+        }
+        let deleted = n_rows - keep.len();
+        if deleted > 0 {
+            t.columns = t.columns.iter().map(|c| c.gather(&keep)).collect();
+            let all_cols: Vec<usize> = (0..t.columns.len()).collect();
+            rebuild_indexes_for_columns(&mut t, &all_cols, &self.index_types.read())?;
+        }
+        Ok(deleted)
+    }
+}
+
+/// Coerce incoming rows to the table's column types through registered
+/// casts (SQL's implicit assignment casts: VALUES ('2025-01-01') into a
+/// TIMESTAMPTZ column, text literals into UDT columns, ...).
+fn coerce_rows(
+    registry: &Registry,
+    types: &[mduck_sql::LogicalType],
+    rows: Vec<Vec<Value>>,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut coerced = Vec::with_capacity(row.len());
+        for (v, ty) in row.into_iter().zip(types) {
+            if v.is_null() || &v.logical_type() == ty || v.logical_type().coercible_to(ty) {
+                coerced.push(v);
+            } else if let Some(cast) = registry.resolve_cast(&v.logical_type(), ty) {
+                coerced.push(cast(&[v])?);
+            } else {
+                coerced.push(v); // let column storage report the mismatch
+            }
+        }
+        out.push(coerced);
+    }
+    Ok(out)
+}
+
+/// Case-insensitive keyword-prefix stripper for utility statements.
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    if s.len() > kw.len()
+        && s[..kw.len()].eq_ignore_ascii_case(kw)
+        && s.as_bytes()[kw.len()].is_ascii_whitespace()
+    {
+        Some(&s[kw.len() + 1..])
+    } else {
+        None
+    }
+}
+
+/// Rebuild one column applying the (sorted-by-construction) replacements.
+fn rebuild_column(t: &mut Table, col: usize, replacements: &[(usize, Value)]) -> SqlResult<()> {
+    if replacements.is_empty() {
+        return Ok(());
+    }
+    let ty = t.columns[col].ty.clone();
+    let mut nc = crate::column::ColumnData::new(&ty);
+    let mut next = 0usize;
+    for i in 0..t.columns[col].len() {
+        if next < replacements.len() && replacements[next].0 == i {
+            nc.push(&replacements[next].1)?;
+            next += 1;
+        } else {
+            nc.push(&t.columns[col].get(i))?;
+        }
+    }
+    t.columns[col] = nc;
+    Ok(())
+}
+
+fn rebuild_indexes_for_columns(
+    t: &mut Table,
+    cols: &[usize],
+    index_types: &IndexTypeRegistry,
+) -> SqlResult<()> {
+    let affected: Vec<usize> = t
+        .indexes
+        .iter()
+        .enumerate()
+        .filter(|(_, idx)| cols.contains(&idx.column()))
+        .map(|(i, _)| i)
+        .collect();
+    for i in affected {
+        let (name, method, col) = {
+            let idx = &t.indexes[i];
+            (idx.name().to_string(), idx.method().to_string(), idx.column())
+        };
+        let ty = t.columns[col].ty.clone();
+        let it = index_types
+            .get(&method)
+            .ok_or_else(|| SqlError::Catalog(format!("index type {method} vanished")))?;
+        let values = t.column_values(col);
+        t.indexes[i] = it.create(&name, col, &ty, &values)?;
+    }
+    Ok(())
+}
+
+fn reorder_for_insert(
+    t: &Table,
+    columns: Option<&[String]>,
+    incoming: Vec<Vec<Value>>,
+) -> SqlResult<Vec<Vec<Value>>> {
+    match columns {
+        None => Ok(incoming),
+        Some(cols) => {
+            let mut mapping = Vec::with_capacity(cols.len());
+            for c in cols {
+                let idx = t
+                    .column_index(c)
+                    .ok_or_else(|| SqlError::Catalog(format!("no column {c:?}")))?;
+                mapping.push(idx);
+            }
+            let width = t.columns.len();
+            let mut out = Vec::with_capacity(incoming.len());
+            for row in incoming {
+                if row.len() != mapping.len() {
+                    return Err(SqlError::execution("INSERT arity mismatch"));
+                }
+                let mut full = vec![Value::Null; width];
+                for (v, &dst) in row.into_iter().zip(&mapping) {
+                    full[dst] = v;
+                }
+                out.push(full);
+            }
+            Ok(out)
+        }
+    }
+}

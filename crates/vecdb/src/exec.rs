@@ -1,0 +1,840 @@
+//! Physical planning and vectorized execution of bound SELECT plans.
+//!
+//! The planner mirrors DuckDB's behaviour the paper relies on:
+//! single-relation predicates are pushed below joins, equality conjuncts
+//! become hash joins, and — the §4.3 mechanism — a filter of the shape
+//! `column && constant` over an indexed column is replaced by an index
+//! scan on the registered TRTREE index.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mduck_sql::ast::BinaryOp;
+use mduck_sql::eval::{eval, OuterStack, SubqueryExec};
+use mduck_sql::{
+    split_conjuncts, BoundExpr, BoundFrom, BoundSelect, LogicalType, Registry, SortKey,
+    SqlError, SqlResult, Value,
+};
+
+use crate::catalog::DbCatalog;
+use crate::column::{Chunks, ColumnData, DataChunk, VECTOR_SIZE};
+use crate::expr::{eval_vector, filter_chunk};
+
+/// Shared execution context for one statement.
+pub struct EngineCtx<'a> {
+    pub catalog: &'a DbCatalog,
+    pub registry: &'a Registry,
+    /// Materialized CTEs by global index.
+    pub ctes: RefCell<HashMap<usize, Arc<Chunks>>>,
+    /// Statistics: rows read by scans (EXPLAIN ANALYZE-style diagnostics).
+    pub rows_scanned: RefCell<usize>,
+    /// True when the optimizer injected at least one index scan.
+    pub used_index_scan: RefCell<bool>,
+}
+
+impl<'a> EngineCtx<'a> {
+    pub fn new(catalog: &'a DbCatalog, registry: &'a Registry) -> Self {
+        EngineCtx {
+            catalog,
+            registry,
+            ctes: RefCell::new(HashMap::new()),
+            rows_scanned: RefCell::new(0),
+            used_index_scan: RefCell::new(false),
+        }
+    }
+}
+
+struct PlanExecutor<'a, 'b> {
+    ctx: &'b EngineCtx<'a>,
+}
+
+impl SubqueryExec for PlanExecutor<'_, '_> {
+    fn execute(&self, plan: &BoundSelect, outer: &OuterStack<'_>) -> SqlResult<Vec<Vec<Value>>> {
+        execute_select(self.ctx, plan, outer)
+    }
+}
+
+// ------------------------------------------------------------ physical plan
+
+/// The join/scan tree (everything above it — aggregation, projection,
+/// ordering — is driven directly from the [`BoundSelect`]).
+#[derive(Debug, Clone)]
+pub enum PhysOp {
+    SeqScan {
+        table: String,
+    },
+    /// §4.3 index-scan injection: `column <op> constant` answered by the
+    /// index named; `fallback` re-applies the original predicate if the
+    /// index declines at run time.
+    IndexScan {
+        table: String,
+        index: String,
+        op: String,
+        constant: Value,
+        fallback: BoundExpr,
+    },
+    CteScan {
+        index: usize,
+        name: String,
+    },
+    SubqueryScan {
+        plan: Box<BoundSelect>,
+        types: Vec<LogicalType>,
+    },
+    Series {
+        args: Vec<BoundExpr>,
+    },
+    Filter {
+        pred: BoundExpr,
+        child: Box<PhysOp>,
+    },
+    HashJoin {
+        left: Box<PhysOp>,
+        right: Box<PhysOp>,
+        left_keys: Vec<BoundExpr>,
+        /// Remapped to the right child's local column space.
+        right_keys: Vec<BoundExpr>,
+    },
+    CrossJoin {
+        left: Box<PhysOp>,
+        right: Box<PhysOp>,
+    },
+}
+
+/// Build the physical join tree for a plan's FROM + WHERE.
+pub fn plan_joins(ctx: &EngineCtx<'_>, plan: &BoundSelect) -> SqlResult<(PhysOp, Vec<BoundExpr>)> {
+    // Column offsets of each FROM item in the global input schema.
+    let mut offsets = Vec::with_capacity(plan.from.len());
+    let mut acc = 0usize;
+    for f in &plan.from {
+        offsets.push(acc);
+        acc += f.schema().len();
+    }
+    let widths: Vec<usize> = plan.from.iter().map(|f| f.schema().len()).collect();
+
+    let mut conjuncts = Vec::new();
+    if let Some(f) = &plan.filter {
+        split_conjuncts(f, &mut conjuncts);
+    }
+    let mut used = vec![false; conjuncts.len()];
+
+    // Base relations with pushed-down filters / injected index scans.
+    let mut relations: Vec<PhysOp> = Vec::new();
+    for (ri, f) in plan.from.iter().enumerate() {
+        let (lo, hi) = (offsets[ri], offsets[ri] + widths[ri]);
+        let mut base = base_relation(f)?;
+        // Gather this relation's own conjuncts (no subqueries, columns all
+        // local).
+        let mut local: Vec<(usize, BoundExpr)> = Vec::new();
+        for (ci, c) in conjuncts.iter().enumerate() {
+            if used[ci] || c.is_complex() {
+                continue;
+            }
+            let mut cols = Vec::new();
+            c.collect_columns(&mut cols);
+            if !cols.is_empty() && cols.iter().all(|&x| x >= lo && x < hi) {
+                local.push((ci, remap_columns(c, lo)));
+            }
+        }
+        // Try index-scan injection on base tables.
+        if let BoundFrom::Table { name, .. } = f {
+            let mut injected_at: Option<usize> = None;
+            for (pos, (_, c)) in local.iter().enumerate() {
+                if let Some(op) = match_index_pattern(ctx, name, c)? {
+                    base = op;
+                    injected_at = Some(pos);
+                    *ctx.used_index_scan.borrow_mut() = true;
+                    break;
+                }
+            }
+            if let Some(pos) = injected_at {
+                let (ci, _) = local.remove(pos);
+                used[ci] = true;
+            }
+        }
+        for (ci, c) in local {
+            used[ci] = true;
+            base = PhysOp::Filter { pred: c, child: Box::new(base) };
+        }
+        relations.push(base);
+    }
+
+    // Left-deep joins in FROM order, picking up equality keys.
+    let mut tree = relations.remove(0);
+    let mut width = widths[0];
+    for (ri, rel) in relations.into_iter().enumerate() {
+        let ri = ri + 1;
+        let (rlo, rhi) = (offsets[ri], offsets[ri] + widths[ri]);
+        let mut lkeys = Vec::new();
+        let mut rkeys = Vec::new();
+        for (ci, c) in conjuncts.iter().enumerate() {
+            if used[ci] || c.is_complex() {
+                continue;
+            }
+            if let BoundExpr::Compare { op: BinaryOp::Eq, left, right } = c {
+                let (mut lc, mut rc) = (Vec::new(), Vec::new());
+                left.collect_columns(&mut lc);
+                right.collect_columns(&mut rc);
+                let in_left = |cols: &[usize]| !cols.is_empty() && cols.iter().all(|&x| x < width);
+                let in_right =
+                    |cols: &[usize]| !cols.is_empty() && cols.iter().all(|&x| x >= rlo && x < rhi);
+                if in_left(&lc) && in_right(&rc) {
+                    lkeys.push((**left).clone());
+                    rkeys.push(remap_columns(right, rlo));
+                    used[ci] = true;
+                } else if in_right(&lc) && in_left(&rc) {
+                    lkeys.push((**right).clone());
+                    rkeys.push(remap_columns(left, rlo));
+                    used[ci] = true;
+                }
+            }
+        }
+        tree = if lkeys.is_empty() {
+            PhysOp::CrossJoin { left: Box::new(tree), right: Box::new(rel) }
+        } else {
+            PhysOp::HashJoin {
+                left: Box::new(tree),
+                right: Box::new(rel),
+                left_keys: lkeys,
+                right_keys: rkeys,
+            }
+        };
+        width = rhi;
+        // Apply every remaining simple conjunct that is now fully covered.
+        for (ci, c) in conjuncts.iter().enumerate() {
+            if used[ci] || c.is_complex() {
+                continue;
+            }
+            let mut cols = Vec::new();
+            c.collect_columns(&mut cols);
+            if cols.iter().all(|&x| x < width) {
+                used[ci] = true;
+                tree = PhysOp::Filter { pred: c.clone(), child: Box::new(tree) };
+            }
+        }
+    }
+    // Anything left (complex predicates with subqueries) runs on top.
+    let remaining: Vec<BoundExpr> = conjuncts
+        .into_iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|(c, _)| c)
+        .collect();
+    Ok((tree, remaining))
+}
+
+fn base_relation(f: &BoundFrom) -> SqlResult<PhysOp> {
+    Ok(match f {
+        BoundFrom::Table { name, .. } => PhysOp::SeqScan { table: name.clone() },
+        BoundFrom::Cte { index, alias, .. } => {
+            PhysOp::CteScan { index: *index, name: alias.clone() }
+        }
+        BoundFrom::Subquery { plan, schema, .. } => PhysOp::SubqueryScan {
+            plan: plan.clone(),
+            types: schema.fields.iter().map(|fl| fl.ty.clone()).collect(),
+        },
+        BoundFrom::Series { args, .. } => PhysOp::Series { args: args.clone() },
+    })
+}
+
+/// Recognize `col <op> constant` (or commuted) over an indexed column of
+/// `table`. Returns an [`PhysOp::IndexScan`] when an index is willing.
+fn match_index_pattern(
+    ctx: &EngineCtx<'_>,
+    table: &str,
+    pred: &BoundExpr,
+) -> SqlResult<Option<PhysOp>> {
+    let BoundExpr::Call { name: op, args, .. } = pred else {
+        return Ok(None);
+    };
+    if args.len() != 2 {
+        return Ok(None);
+    }
+    // `&&` commutes; other operators are used as written.
+    let (col, constant) = match (&args[0], &args[1]) {
+        (BoundExpr::ColumnRef { index, .. }, BoundExpr::Literal(v)) => (*index, v.clone()),
+        (BoundExpr::Literal(v), BoundExpr::ColumnRef { index, .. }) if op == "&&" => {
+            (*index, v.clone())
+        }
+        _ => return Ok(None),
+    };
+    let t = ctx.catalog.get(table)?;
+    let t = t.read();
+    for idx in &t.indexes {
+        if idx.column() == col {
+            return Ok(Some(PhysOp::IndexScan {
+                table: table.to_string(),
+                index: idx.name().to_string(),
+                op: op.clone(),
+                constant,
+                fallback: pred.clone(),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Rewrite column indices down by `offset` (push a predicate below a join).
+fn remap_columns(e: &BoundExpr, offset: usize) -> BoundExpr {
+    use BoundExpr::*;
+    match e {
+        ColumnRef { index, ty } => ColumnRef { index: index - offset, ty: ty.clone() },
+        Call { name, func, args, ty, strict } => Call {
+            name: name.clone(),
+            func: func.clone(),
+            args: args.iter().map(|a| remap_columns(a, offset)).collect(),
+            ty: ty.clone(),
+            strict: *strict,
+        },
+        Compare { op, left, right } => Compare {
+            op: *op,
+            left: Box::new(remap_columns(left, offset)),
+            right: Box::new(remap_columns(right, offset)),
+        },
+        Arith { op, left, right, ty } => Arith {
+            op: *op,
+            left: Box::new(remap_columns(left, offset)),
+            right: Box::new(remap_columns(right, offset)),
+            ty: ty.clone(),
+        },
+        And(es) => And(es.iter().map(|x| remap_columns(x, offset)).collect()),
+        Or(es) => Or(es.iter().map(|x| remap_columns(x, offset)).collect()),
+        Not(x) => Not(Box::new(remap_columns(x, offset))),
+        IsNull { expr, negated } => {
+            IsNull { expr: Box::new(remap_columns(expr, offset)), negated: *negated }
+        }
+        InList { expr, list, negated } => InList {
+            expr: Box::new(remap_columns(expr, offset)),
+            list: list.iter().map(|x| remap_columns(x, offset)).collect(),
+            negated: *negated,
+        },
+        Case { operand, branches, else_expr, ty } => Case {
+            operand: operand.as_ref().map(|o| Box::new(remap_columns(o, offset))),
+            branches: branches
+                .iter()
+                .map(|(c, v)| (remap_columns(c, offset), remap_columns(v, offset)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|x| Box::new(remap_columns(x, offset))),
+            ty: ty.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+// ------------------------------------------------------------ execution
+
+/// Execute a physical tree, producing chunks.
+pub fn execute_op(
+    ctx: &EngineCtx<'_>,
+    op: &PhysOp,
+    outer: &OuterStack<'_>,
+) -> SqlResult<Chunks> {
+    let exec = PlanExecutor { ctx };
+    match op {
+        PhysOp::SeqScan { table } => {
+            let t = ctx.catalog.get(table)?;
+            let t = t.read();
+            *ctx.rows_scanned.borrow_mut() += t.row_count();
+            Ok(t.scan_chunks())
+        }
+        PhysOp::IndexScan { table, op, constant, fallback, .. } => {
+            let t = ctx.catalog.get(table)?;
+            let t = t.read();
+            let mut hit = None;
+            for idx in &t.indexes {
+                if let Some(rows) = idx.try_scan(op, constant)? {
+                    hit = Some(rows);
+                    break;
+                }
+            }
+            match hit {
+                Some(mut rows) => {
+                    rows.sort_unstable();
+                    *ctx.rows_scanned.borrow_mut() += rows.len();
+                    Ok(t.gather_rows(&rows))
+                }
+                None => {
+                    // Index declined: sequential scan + original filter.
+                    *ctx.rows_scanned.borrow_mut() += t.row_count();
+                    let chunks = t.scan_chunks();
+                    filter_chunks(chunks, fallback, outer, &exec)
+                }
+            }
+        }
+        PhysOp::CteScan { index, .. } => {
+            let ctes = ctx.ctes.borrow();
+            let mat = ctes
+                .get(index)
+                .ok_or_else(|| SqlError::execution(format!("CTE {index} not materialized")))?;
+            Ok((**mat).clone())
+        }
+        PhysOp::SubqueryScan { plan, types } => {
+            let rows = execute_select(ctx, plan, outer)?;
+            Chunks::from_rows(types, &rows)
+        }
+        PhysOp::Series { args } => {
+            let vals: SqlResult<Vec<Value>> =
+                args.iter().map(|a| eval(a, &[], outer, &exec)).collect();
+            let vals = vals?;
+            let start = vals[0].as_int()?;
+            let stop = if vals.len() > 1 { vals[1].as_int()? } else { start };
+            let step = if vals.len() > 2 { vals[2].as_int()? } else { 1 };
+            if step == 0 {
+                return Err(SqlError::execution("generate_series step must be nonzero"));
+            }
+            let mut out = Chunks::default();
+            let mut chunk = DataChunk::new(&[LogicalType::Int]);
+            let mut v = start;
+            while (step > 0 && v <= stop) || (step < 0 && v >= stop) {
+                chunk.push_row(&[Value::Int(v)])?;
+                if chunk.len >= VECTOR_SIZE {
+                    out.chunks
+                        .push(std::mem::replace(&mut chunk, DataChunk::new(&[LogicalType::Int])));
+                }
+                v += step;
+            }
+            if chunk.len > 0 {
+                out.chunks.push(chunk);
+            }
+            Ok(out)
+        }
+        PhysOp::Filter { pred, child } => {
+            let input = execute_op(ctx, child, outer)?;
+            filter_chunks(input, pred, outer, &exec)
+        }
+        PhysOp::CrossJoin { left, right } => {
+            let l = execute_op(ctx, left, outer)?;
+            let r = execute_op(ctx, right, outer)?;
+            cross_join(&l, &r)
+        }
+        PhysOp::HashJoin { left, right, left_keys, right_keys } => {
+            let l = execute_op(ctx, left, outer)?;
+            let r = execute_op(ctx, right, outer)?;
+            hash_join(&l, &r, left_keys, right_keys, outer, &exec)
+        }
+    }
+}
+
+fn filter_chunks(
+    input: Chunks,
+    pred: &BoundExpr,
+    outer: &OuterStack<'_>,
+    exec: &dyn SubqueryExec,
+) -> SqlResult<Chunks> {
+    let mut out = Chunks::default();
+    for chunk in &input.chunks {
+        let sel = filter_chunk(pred, chunk, outer, exec)?;
+        if sel.len() == chunk.len {
+            out.chunks.push(chunk.clone());
+        } else if !sel.is_empty() {
+            out.chunks.push(chunk.select(&sel));
+        }
+    }
+    Ok(out)
+}
+
+/// Flatten chunks into one big chunk (join build sides).
+fn flatten(chunks: &Chunks, types: Vec<LogicalType>) -> DataChunk {
+    let mut cols: Vec<ColumnData> = types.iter().map(ColumnData::new).collect();
+    for chunk in &chunks.chunks {
+        for (dst, src) in cols.iter_mut().zip(&chunk.columns) {
+            dst.extend_from(src, 0, chunk.len);
+        }
+    }
+    DataChunk::from_columns(cols)
+}
+
+fn chunk_types(chunks: &Chunks) -> Vec<LogicalType> {
+    chunks
+        .chunks
+        .first()
+        .map(|c| c.columns.iter().map(|col| col.ty.clone()).collect())
+        .unwrap_or_default()
+}
+
+fn cross_join(l: &Chunks, r: &Chunks) -> SqlResult<Chunks> {
+    let rtypes = chunk_types(r);
+    let rflat = flatten(r, rtypes);
+    let mut out = Chunks::default();
+    for lchunk in &l.chunks {
+        // For each left row, repeat it against every right row.
+        let mut lsel = Vec::new();
+        let mut rsel = Vec::new();
+        for li in 0..lchunk.len {
+            for ri in 0..rflat.len {
+                lsel.push(li);
+                rsel.push(ri);
+                if lsel.len() >= VECTOR_SIZE {
+                    out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
+                    lsel.clear();
+                    rsel.clear();
+                }
+            }
+        }
+        if !lsel.is_empty() {
+            out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
+        }
+    }
+    Ok(out)
+}
+
+fn combine(l: &DataChunk, lsel: &[usize], r: &DataChunk, rsel: &[usize]) -> DataChunk {
+    let mut cols = Vec::with_capacity(l.columns.len() + r.columns.len());
+    for c in &l.columns {
+        cols.push(c.gather(lsel));
+    }
+    for c in &r.columns {
+        cols.push(c.gather(rsel));
+    }
+    DataChunk::from_columns(cols)
+}
+
+fn hash_join(
+    l: &Chunks,
+    r: &Chunks,
+    left_keys: &[BoundExpr],
+    right_keys: &[BoundExpr],
+    outer: &OuterStack<'_>,
+    exec: &dyn SubqueryExec,
+) -> SqlResult<Chunks> {
+    // Build on the right side.
+    let rtypes = chunk_types(r);
+    let rflat = flatten(r, rtypes);
+    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(rflat.len);
+    if rflat.len > 0 {
+        let key_cols: SqlResult<Vec<ColumnData>> = right_keys
+            .iter()
+            .map(|k| eval_vector(k, &rflat, outer, exec))
+            .collect();
+        let key_cols = key_cols?;
+        let mut key = Vec::new();
+        for i in 0..rflat.len {
+            key.clear();
+            let mut has_null = false;
+            for kc in &key_cols {
+                let v = kc.get(i);
+                if v.is_null() {
+                    has_null = true;
+                    break;
+                }
+                v.hash_key(&mut key);
+            }
+            if !has_null {
+                table.entry(key.clone()).or_default().push(i);
+            }
+        }
+    }
+    let mut out = Chunks::default();
+    for lchunk in &l.chunks {
+        if lchunk.len == 0 {
+            continue;
+        }
+        let key_cols: SqlResult<Vec<ColumnData>> = left_keys
+            .iter()
+            .map(|k| eval_vector(k, lchunk, outer, exec))
+            .collect();
+        let key_cols = key_cols?;
+        let mut lsel = Vec::new();
+        let mut rsel = Vec::new();
+        let mut key = Vec::new();
+        for i in 0..lchunk.len {
+            key.clear();
+            let mut has_null = false;
+            for kc in &key_cols {
+                let v = kc.get(i);
+                if v.is_null() {
+                    has_null = true;
+                    break;
+                }
+                v.hash_key(&mut key);
+            }
+            if has_null {
+                continue;
+            }
+            if let Some(matches) = table.get(&key) {
+                for &ri in matches {
+                    lsel.push(i);
+                    rsel.push(ri);
+                    if lsel.len() >= VECTOR_SIZE {
+                        out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
+                        lsel.clear();
+                        rsel.clear();
+                    }
+                }
+            }
+        }
+        if !lsel.is_empty() {
+            out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
+        }
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------ full select
+
+/// Execute a bound SELECT to rows.
+pub fn execute_select(
+    ctx: &EngineCtx<'_>,
+    plan: &BoundSelect,
+    outer: &OuterStack<'_>,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let exec = PlanExecutor { ctx };
+
+    // 1. Materialize this plan's CTEs (in order; later ones may reference
+    //    earlier ones). Global indices were assigned by the binder in
+    //    binding order starting at the count before this plan — recover
+    //    them by running a counter alongside.
+    materialize_ctes(ctx, plan, outer)?;
+
+    // 2. Input relation.
+    let input: Chunks = if plan.from.is_empty() {
+        // SELECT without FROM: one empty row.
+        let mut c = Chunks::default();
+        c.chunks.push(DataChunk { columns: vec![], len: 1 });
+        c
+    } else {
+        let (tree, remaining) = plan_joins(ctx, plan)?;
+        let mut chunks = execute_op(ctx, &tree, outer)?;
+        for pred in remaining {
+            chunks = filter_chunks(chunks, &pred, outer, &exec)?;
+        }
+        chunks
+    };
+
+    // 3. Aggregation → environment rows.
+    let (env_rows, env_is_input) = if plan.aggregated {
+        (aggregate(ctx, plan, &input, outer)?, false)
+    } else {
+        (Vec::new(), true)
+    };
+
+    // 4 + 5. HAVING + projection.
+    let mut out_rows: Vec<Vec<Value>> = Vec::new();
+    let mut env_kept: Vec<Vec<Value>> = Vec::new();
+    let needs_env = plan
+        .order_by
+        .iter()
+        .any(|o| matches!(o.key, SortKey::Input(_)));
+    if env_is_input {
+        for chunk in &input.chunks {
+            // Vectorized projection straight off the input chunks.
+            let proj_cols: SqlResult<Vec<ColumnData>> = plan
+                .projections
+                .iter()
+                .map(|p| eval_vector(p, chunk, outer, &exec))
+                .collect();
+            let proj_cols = proj_cols?;
+            for i in 0..chunk.len {
+                out_rows.push(proj_cols.iter().map(|c| c.get(i)).collect());
+                if needs_env {
+                    env_kept.push(chunk.row(i));
+                }
+            }
+        }
+    } else {
+        for row in env_rows {
+            if let Some(h) = &plan.having {
+                if !matches!(eval(h, &row, outer, &exec)?, Value::Bool(true)) {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(plan.projections.len());
+            for p in &plan.projections {
+                out.push(eval(p, &row, outer, &exec)?);
+            }
+            out_rows.push(out);
+            if needs_env {
+                env_kept.push(row);
+            }
+        }
+    }
+
+    // 6. DISTINCT.
+    if plan.distinct {
+        let mut seen = std::collections::HashSet::new();
+        let mut kept_out = Vec::with_capacity(out_rows.len());
+        let mut kept_env = Vec::new();
+        for (i, row) in out_rows.into_iter().enumerate() {
+            let mut key = Vec::new();
+            for v in &row {
+                v.hash_key(&mut key);
+            }
+            if seen.insert(key) {
+                if needs_env {
+                    kept_env.push(env_kept[i].clone());
+                }
+                kept_out.push(row);
+            }
+        }
+        out_rows = kept_out;
+        env_kept = kept_env;
+    }
+
+    // 7. ORDER BY.
+    if !plan.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(out_rows.len());
+        for i in 0..out_rows.len() {
+            let mut keys = Vec::with_capacity(plan.order_by.len());
+            for o in &plan.order_by {
+                let v = match &o.key {
+                    SortKey::Output(j) => out_rows[i][*j].clone(),
+                    SortKey::Input(e) => eval(e, &env_kept[i], outer, &exec)?,
+                };
+                keys.push(v);
+            }
+            keyed.push((keys, i));
+        }
+        keyed.sort_by(|(a, _), (b, _)| {
+            for (k, o) in a.iter().zip(b).zip(&plan.order_by).map(|((x, y), o)| ((x, y), o)) {
+                let ((x, y), o) = (k, o);
+                let ord = match x.sql_cmp(y) {
+                    Some(ord) => ord,
+                    None => {
+                        // NULLs last (ascending), first (descending).
+                        match (x.is_null(), y.is_null()) {
+                            (true, true) => std::cmp::Ordering::Equal,
+                            (true, false) => std::cmp::Ordering::Greater,
+                            (false, true) => std::cmp::Ordering::Less,
+                            (false, false) => std::cmp::Ordering::Equal,
+                        }
+                    }
+                };
+                let ord = if o.asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out_rows = keyed.into_iter().map(|(_, i)| out_rows[i].clone()).collect();
+    }
+
+    // 8. OFFSET / LIMIT.
+    if let Some(off) = plan.offset {
+        let off = off as usize;
+        out_rows = if off >= out_rows.len() { Vec::new() } else { out_rows.split_off(off) };
+    }
+    if let Some(lim) = plan.limit {
+        out_rows.truncate(lim as usize);
+    }
+    Ok(out_rows)
+}
+
+/// Materialize the plan's CTEs into the shared context, in declaration
+/// order (later CTEs may reference earlier ones).
+fn materialize_ctes(
+    ctx: &EngineCtx<'_>,
+    plan: &BoundSelect,
+    outer: &OuterStack<'_>,
+) -> SqlResult<()> {
+    for cte in &plan.ctes {
+        let rows = execute_select(ctx, &cte.plan, outer)?;
+        let types: Vec<LogicalType> = cte
+            .plan
+            .output_schema
+            .fields
+            .iter()
+            .map(|f| f.ty.clone())
+            .collect();
+        let chunks = Chunks::from_rows(&types, &rows)?;
+        ctx.ctes.borrow_mut().insert(cte.index, Arc::new(chunks));
+    }
+    Ok(())
+}
+
+/// Hash aggregation: returns the environment rows
+/// `[group keys ++ aggregate results]`.
+fn aggregate(
+    ctx: &EngineCtx<'_>,
+    plan: &BoundSelect,
+    input: &Chunks,
+    outer: &OuterStack<'_>,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let exec = PlanExecutor { ctx };
+    struct Group {
+        keys: Vec<Value>,
+        states: Vec<Box<dyn mduck_sql::AggState>>,
+        distinct_seen: Vec<Option<std::collections::HashSet<Vec<u8>>>>,
+    }
+    let mut groups: HashMap<Vec<u8>, Group> = HashMap::new();
+    let make_group = |keys: Vec<Value>| -> Group {
+        Group {
+            keys,
+            states: plan.aggregates.iter().map(|a| (a.factory)()).collect(),
+            distinct_seen: plan
+                .aggregates
+                .iter()
+                .map(|a| a.distinct.then(std::collections::HashSet::new))
+                .collect(),
+        }
+    };
+
+    for chunk in &input.chunks {
+        // Vectorized evaluation of group keys and aggregate arguments.
+        let key_cols: SqlResult<Vec<ColumnData>> = plan
+            .group_by
+            .iter()
+            .map(|g| eval_vector(g, chunk, outer, &exec))
+            .collect();
+        let key_cols = key_cols?;
+        let arg_cols: SqlResult<Vec<Vec<ColumnData>>> = plan
+            .aggregates
+            .iter()
+            .map(|a| {
+                a.args
+                    .iter()
+                    .map(|arg| eval_vector(arg, chunk, outer, &exec))
+                    .collect()
+            })
+            .collect();
+        let arg_cols = arg_cols?;
+        let mut key = Vec::new();
+        for i in 0..chunk.len {
+            key.clear();
+            let mut keys = Vec::with_capacity(key_cols.len());
+            for kc in &key_cols {
+                let v = kc.get(i);
+                v.hash_key(&mut key);
+                keys.push(v);
+            }
+            let group = groups
+                .entry(key.clone())
+                .or_insert_with(|| make_group(keys));
+            for (ai, cols) in arg_cols.iter().enumerate() {
+                let args: Vec<Value> = cols.iter().map(|c| c.get(i)).collect();
+                if let Some(seen) = &mut group.distinct_seen[ai] {
+                    let mut akey = Vec::new();
+                    for a in &args {
+                        a.hash_key(&mut akey);
+                    }
+                    if !seen.insert(akey) {
+                        continue;
+                    }
+                }
+                group.states[ai].update(&args)?;
+            }
+        }
+    }
+
+    // GROUP BY with no groups in the input and no keys still yields one row
+    // (global aggregate); with keys it yields nothing.
+    if groups.is_empty() && plan.group_by.is_empty() {
+        let mut g = make_group(Vec::new());
+        let mut row = Vec::new();
+        for s in &mut g.states {
+            row.push(s.finalize()?);
+        }
+        return Ok(vec![row]);
+    }
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+    for (_, mut g) in groups {
+        let mut row = g.keys;
+        for s in &mut g.states {
+            row.push(s.finalize()?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}

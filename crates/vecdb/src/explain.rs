@@ -1,0 +1,131 @@
+//! EXPLAIN rendering in DuckDB's boxed-tree style (the paper's Figure 1).
+
+use mduck_sql::{BoundExpr, BoundSelect, SortKey};
+
+use crate::exec::PhysOp;
+
+const BOX_WIDTH: usize = 29;
+
+/// Render the full plan (post-join stages plus the join/scan tree).
+pub fn render_plan(plan: &BoundSelect, tree: &PhysOp, remaining: &[BoundExpr]) -> String {
+    let mut nodes: Vec<(String, Vec<String>)> = Vec::new();
+    if plan.limit.is_some() || plan.offset.is_some() {
+        nodes.push(("LIMIT".into(), vec![format!("{:?}", plan.limit.unwrap_or(0))]));
+    }
+    if !plan.order_by.is_empty() {
+        let keys: Vec<String> = plan
+            .order_by
+            .iter()
+            .map(|o| {
+                let k = match &o.key {
+                    SortKey::Output(i) => format!("#{i}"),
+                    SortKey::Input(e) => format!("{e:?}"),
+                };
+                format!("{k} {}", if o.asc { "ASC" } else { "DESC" })
+            })
+            .collect();
+        nodes.push(("ORDER_BY".into(), keys));
+    }
+    if plan.distinct {
+        nodes.push(("DISTINCT".into(), vec![]));
+    }
+    nodes.push((
+        "PROJECTION".into(),
+        plan.projections.iter().map(|p| format!("{p:?}")).collect(),
+    ));
+    if plan.aggregated {
+        let mut detail: Vec<String> =
+            plan.group_by.iter().map(|g| format!("group: {g:?}")).collect();
+        detail.extend(plan.aggregates.iter().map(|a| format!("{a:?}")));
+        nodes.push(("HASH_GROUP_BY".into(), detail));
+    }
+    for pred in remaining {
+        nodes.push(("FILTER".into(), vec![format!("{pred:?}")]));
+    }
+
+    let mut out = String::new();
+    for (name, detail) in nodes {
+        push_box(&mut out, &name, &detail, true);
+    }
+    render_op(&mut out, tree);
+    out
+}
+
+fn render_op(out: &mut String, op: &PhysOp) {
+    match op {
+        PhysOp::SeqScan { table } => {
+            push_box(out, "SEQ_SCAN", &[table.clone()], false);
+        }
+        PhysOp::IndexScan { table, index, op, .. } => {
+            push_box(
+                out,
+                "TRTREE_INDEX_SCAN",
+                &[table.clone(), format!("index: {index}"), format!("op: {op}")],
+                false,
+            );
+        }
+        PhysOp::CteScan { name, .. } => {
+            push_box(out, "CTE_SCAN", &[name.clone()], false);
+        }
+        PhysOp::SubqueryScan { .. } => {
+            push_box(out, "SUBQUERY_SCAN", &[], false);
+        }
+        PhysOp::Series { .. } => {
+            push_box(out, "GENERATE_SERIES", &[], false);
+        }
+        PhysOp::Filter { pred, child } => {
+            push_box(out, "FILTER", &[format!("{pred:?}")], true);
+            render_op(out, child);
+        }
+        PhysOp::HashJoin { left, right, left_keys, right_keys } => {
+            let cond: Vec<String> = left_keys
+                .iter()
+                .zip(right_keys)
+                .map(|(l, r)| format!("{l:?} = {r:?}"))
+                .collect();
+            push_box(out, "HASH_JOIN", &cond, true);
+            // Render children sequentially (left above right) with a
+            // divider — a readable simplification of DuckDB's 2-D layout.
+            render_op(out, left);
+            out.push_str(&format!("{:^width$}\n", "──── build side ────", width = BOX_WIDTH + 2));
+            render_op(out, right);
+        }
+        PhysOp::CrossJoin { left, right } => {
+            push_box(out, "CROSS_PRODUCT", &[], true);
+            render_op(out, left);
+            out.push_str(&format!("{:^width$}\n", "──── right side ────", width = BOX_WIDTH + 2));
+            render_op(out, right);
+        }
+    }
+}
+
+fn push_box(out: &mut String, title: &str, detail: &[String], has_child: bool) {
+    let top = format!("┌{}┐", "─".repeat(BOX_WIDTH));
+    let bot = if has_child {
+        format!("└{}┬{}┘", "─".repeat(BOX_WIDTH / 2), "─".repeat(BOX_WIDTH - BOX_WIDTH / 2 - 1))
+    } else {
+        format!("└{}┘", "─".repeat(BOX_WIDTH))
+    };
+    out.push_str(&top);
+    out.push('\n');
+    out.push_str(&format!("│{:^width$}│\n", truncate(title), width = BOX_WIDTH));
+    if !detail.is_empty() {
+        out.push_str(&format!("│{}│\n", "─".repeat(BOX_WIDTH)));
+        for d in detail {
+            out.push_str(&format!("│{:^width$}│\n", truncate(d), width = BOX_WIDTH));
+        }
+    }
+    out.push_str(&bot);
+    out.push('\n');
+}
+
+fn truncate(s: &str) -> String {
+    let max = BOX_WIDTH - 2;
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let mut t: String = s.chars().take(max - 1).collect();
+        t.push('…');
+        t
+    }
+}

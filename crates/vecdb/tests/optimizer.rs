@@ -1,0 +1,104 @@
+//! Planner/optimizer behaviour tests: filter pushdown, hash-join
+//! extraction, and EXPLAIN-visible plan shapes.
+
+use quackdb::Database;
+
+fn db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE a(id INTEGER, x INTEGER)").unwrap();
+    db.execute("CREATE TABLE b(id INTEGER, y INTEGER)").unwrap();
+    db.execute("INSERT INTO a SELECT i, i * 2 FROM generate_series(1, 100) AS t(i)").unwrap();
+    db.execute("INSERT INTO b SELECT i, i * 3 FROM generate_series(1, 100) AS t(i)").unwrap();
+    db
+}
+
+fn plan(db: &Database, sql: &str) -> String {
+    db.execute(&format!("EXPLAIN {sql}")).unwrap().rows[0][0].to_string()
+}
+
+#[test]
+fn equality_conjuncts_become_hash_joins() {
+    let db = db();
+    let p = plan(&db, "SELECT count(*) FROM a, b WHERE a.id = b.id");
+    assert!(p.contains("HASH_JOIN"), "{p}");
+    assert!(!p.contains("CROSS_PRODUCT"), "{p}");
+    let r = db.execute("SELECT count(*) FROM a, b WHERE a.id = b.id").unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "100");
+}
+
+#[test]
+fn no_key_means_cross_product() {
+    let db = db();
+    let p = plan(&db, "SELECT count(*) FROM a, b WHERE a.x < b.y");
+    assert!(p.contains("CROSS_PRODUCT"), "{p}");
+}
+
+#[test]
+fn single_table_predicates_are_pushed_below_joins() {
+    let db = db();
+    let p = plan(&db, "SELECT count(*) FROM a, b WHERE a.id = b.id AND a.x > 100 AND b.y > 100");
+    // Both pushed filters appear below the join (the join box comes first
+    // in the rendering, filters attach to scans).
+    let join_pos = p.find("HASH_JOIN").expect("hash join in plan");
+    let first_filter = p.find("FILTER").expect("filters in plan");
+    assert!(first_filter > join_pos, "filters should render below the join\n{p}");
+    let r = db
+        .execute("SELECT count(*) FROM a, b WHERE a.id = b.id AND a.x > 100 AND b.y > 100")
+        .unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "50"); // ids 51..100
+}
+
+#[test]
+fn join_keys_can_be_expressions() {
+    let db = db();
+    let r = db
+        .execute("SELECT count(*) FROM a, b WHERE a.x = b.y") // 2i = 3j
+        .unwrap();
+    // x = 2i ∈ [2,200], y = 3j ∈ [3,300]; matches at multiples of 6 → 33.
+    assert_eq!(r.rows[0][0].to_string(), "33");
+}
+
+#[test]
+fn three_way_join_order_follows_from_clause() {
+    let db = db();
+    db.execute("CREATE TABLE c(id INTEGER, z INTEGER)").unwrap();
+    db.execute("INSERT INTO c SELECT i, i FROM generate_series(1, 10) AS t(i)").unwrap();
+    let sql = "SELECT count(*) FROM a, b, c WHERE a.id = b.id AND b.id = c.id";
+    let p = plan(&db, sql);
+    assert_eq!(p.matches("HASH_JOIN").count(), 2, "{p}");
+    let r = db.execute(sql).unwrap();
+    assert_eq!(r.rows[0][0].to_string(), "10");
+}
+
+#[test]
+fn limit_distinct_order_render() {
+    let db = db();
+    let p = plan(&db, "SELECT DISTINCT x FROM a ORDER BY x DESC LIMIT 5");
+    assert!(p.contains("LIMIT"), "{p}");
+    assert!(p.contains("ORDER_BY"), "{p}");
+    assert!(p.contains("DISTINCT"), "{p}");
+    assert!(p.contains("PROJECTION"), "{p}");
+}
+
+#[test]
+fn aggregation_renders_group_by_node() {
+    let db = db();
+    let p = plan(&db, "SELECT x % 3, count(*) FROM a GROUP BY x % 3");
+    assert!(p.contains("HASH_GROUP_BY"), "{p}");
+}
+
+#[test]
+fn rows_scanned_reflects_pushdown() {
+    // Filter pushdown must not change results even with chained filters.
+    let db = db();
+    for sql in [
+        "SELECT count(*) FROM a WHERE x > 50 AND x < 150 AND id <> 40",
+        "SELECT count(*) FROM a, b WHERE a.id = b.id AND a.x + b.y > 10",
+    ] {
+        let r1 = db.execute(sql).unwrap();
+        // Same query through a subquery wrapper (defeats pushdown shape).
+        let wrapped = format!("SELECT * FROM ({sql}) q");
+        let r2 = db.execute(&wrapped).unwrap();
+        assert_eq!(r1.rows, r2.rows, "{sql}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Generate BerlinMOD-Hanoi datasets and print their Table-2/Table-3
+//! statistics, demonstrating the §5 data-generation pipeline.
+//!
+//! ```sh
+//! cargo run --release -p mduck-examples --bin berlinmod_gen [sf ...]
+//! ```
+
+use berlinmod::{BerlinModData, RoadNetwork, ScaleFactor};
+
+fn main() {
+    let sfs: Vec<f64> = {
+        let args: Vec<f64> =
+            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        if args.is_empty() {
+            vec![0.001, 0.002, 0.005, 0.01]
+        } else {
+            args
+        }
+    };
+    println!("== BerlinMOD-Hanoi generator ==\n");
+    let net = RoadNetwork::generate(42);
+    println!(
+        "road network: {} nodes, {} districts ({} named after Hanoi's urban districts)\n",
+        net.num_nodes(),
+        net.districts.len(),
+        net.districts.iter().map(|d| d.name).collect::<Vec<_>>().join(", "),
+    );
+    println!(
+        "{:>10}  {:>8}  {:>5}  {:>7}  {:>12}  {:>10}",
+        "SF", "vehicles", "days", "trips", "trip points", "approx size"
+    );
+    for sf in sfs {
+        let data = BerlinModData::generate(&net, ScaleFactor(sf), 42);
+        println!(
+            "{:>10}  {:>8}  {:>5}  {:>7}  {:>12}  {:>10}",
+            format!("SF-{sf}"),
+            data.vehicles.len(),
+            ScaleFactor(sf).num_days(),
+            data.trips.len(),
+            data.total_trip_points(),
+            mduck_bench_human(data.approx_size_bytes()),
+        );
+    }
+    println!("\n(vehicles = round(2000·√SF), days = round(28·√SF) + 2 — the Tables 2–3 model)");
+}
+
+fn mduck_bench_human(bytes: usize) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.2} GB", bytes as f64 / (1u64 << 30) as f64)
+    } else {
+        format!("{:.1} MB", bytes as f64 / (1u64 << 20) as f64)
+    }
+}

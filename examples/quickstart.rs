@@ -1,0 +1,90 @@
+//! Quickstart: open an in-process database, load the MobilityDuck
+//! extension, and run the paper's §3.5 sample queries.
+//!
+//! ```sh
+//! cargo run -p mduck-examples --bin quickstart
+//! ```
+
+use quackdb::Database;
+
+fn show(db: &Database, sql: &str) {
+    println!("> {sql}");
+    match db.execute(sql) {
+        Ok(r) => {
+            for row in &r.rows {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("  {}", cells.join(" | "));
+            }
+        }
+        Err(e) => println!("  error: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    // A database is just a value — no server, no files (§2.4's
+    // embeddability).
+    let db = Database::new();
+    mobilityduck::load(&db);
+
+    println!("== MobilityDuck quickstart ==\n");
+
+    // The §3.5 sample queries.
+    show(&db, "SELECT duration('{1@2025-01-01, 2@2025-01-02, 1@2025-01-03}'::TINT, true)");
+    show(
+        &db,
+        "SELECT shiftScale(tstzset '{2025-01-01, 2025-01-02, 2025-01-03}', \
+         interval '1 day', interval '1 hour')",
+    );
+    show(
+        &db,
+        "SELECT asEWKT(transform(geomset 'SRID=4326;{Point(2.340088 49.400250), \
+         Point(6.575317 51.553167)}', 3812), 6)",
+    );
+    show(
+        &db,
+        "SELECT expandSpace(stbox 'STBOX XT(((1.0,2.0),(1.0,2.0)),[2025-01-01,2025-01-01])', 2.0)",
+    );
+    show(
+        &db,
+        "SELECT expandTime(tbox 'TBOXFLOAT XT([1.0,2.0],[2025-01-01,2025-01-02])', interval '1 day')",
+    );
+    show(
+        &db,
+        "SELECT asEWKT(tgeometry('Point(1 1)', tstzspan '[2025-01-01, 2025-01-02]', 'step'))",
+    );
+    show(
+        &db,
+        "SELECT tgeompoint '{[Point(1 1)@2025-01-01, Point(2 2)@2025-01-02, \
+         Point(1 1)@2025-01-03], [Point(3 3)@2025-01-04, Point(3 3)@2025-01-05]}' \
+         && stbox 'STBOX X((10.0,20.0),(10.0,20.0))'",
+    );
+    show(
+        &db,
+        "SELECT asText(atTime(tgeompoint '{[Point(1 1)@2025-01-01, Point(2 2)@2025-01-02, \
+         Point(1 1)@2025-01-03],[Point(3 3)@2025-01-04, Point(3 3)@2025-01-05]}', \
+         tstzspan '[2025-01-01,2025-01-02]'))",
+    );
+
+    // Temporal tables: store trips, ask spatiotemporal questions.
+    println!("== a tiny trips table ==\n");
+    db.execute("CREATE TABLE trips(vehicle VARCHAR, trip TGEOMPOINT)").unwrap();
+    db.execute(
+        "INSERT INTO trips VALUES \
+         ('29A-123', '[Point(0 0)@2025-01-01 08:00:00, Point(4000 0)@2025-01-01 08:30:00]'::tgeompoint), \
+         ('30F-456', '[Point(0 500)@2025-01-01 08:00:00, Point(4000 500)@2025-01-01 08:20:00]'::tgeompoint), \
+         ('29A-789', '[Point(9000 9000)@2025-01-01 09:00:00, Point(9500 9500)@2025-01-01 09:10:00]'::tgeompoint)",
+    )
+    .unwrap();
+    show(&db, "SELECT vehicle, length(trip) AS meters, duration(trip, true) FROM trips ORDER BY vehicle");
+    show(
+        &db,
+        "SELECT t1.vehicle, t2.vehicle, eDwithin(t1.trip, t2.trip, 600.0) AS ever_close \
+         FROM trips t1, trips t2 WHERE t1.vehicle < t2.vehicle ORDER BY 1, 2",
+    );
+    show(
+        &db,
+        "SELECT vehicle, ST_AsText(valueAtTimestamp(trip, timestamptz '2025-01-01 08:15:00')) AS at_815 \
+         FROM trips WHERE trip::tstzspan @> timestamptz '2025-01-01 08:15:00' ORDER BY vehicle",
+    );
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: the full MobilityDuck SQL surface produces the
+//! same results on the vectorized and row engines, over temporal data.
+
+use mduck_rowdb::RowDatabase;
+use quackdb::Database;
+
+fn both() -> (Database, RowDatabase) {
+    let vdb = Database::new();
+    mobilityduck::load(&vdb);
+    let rdb = RowDatabase::new();
+    mobilityduck::load_row(&rdb);
+    let setup = "
+        CREATE TABLE trips(vid INTEGER, trip TGEOMPOINT);
+        INSERT INTO trips VALUES
+          (1, '[Point(0 0)@2025-01-01 08:00:00, Point(1000 0)@2025-01-01 08:10:00, Point(1000 800)@2025-01-01 08:20:00]'::tgeompoint),
+          (2, '[Point(1000 0)@2025-01-01 08:00:00, Point(0 0)@2025-01-01 08:10:00]'::tgeompoint),
+          (3, '[Point(5000 5000)@2025-01-01 09:00:00, Point(6000 5000)@2025-01-01 09:30:00]'::tgeompoint);
+    ";
+    vdb.execute_script(setup).unwrap();
+    rdb.execute_script(setup).unwrap();
+    (vdb, rdb)
+}
+
+fn check(vdb: &Database, rdb: &RowDatabase, sql: &str) {
+    let a: Vec<Vec<String>> = vdb
+        .execute(sql)
+        .unwrap_or_else(|e| panic!("quackdb: {e}\n{sql}"))
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect();
+    let b: Vec<Vec<String>> = rdb
+        .execute(sql)
+        .unwrap_or_else(|e| panic!("rowdb: {e}\n{sql}"))
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect();
+    assert_eq!(a, b, "engines disagree on {sql}");
+}
+
+#[test]
+fn temporal_accessors_agree() {
+    let (v, r) = both();
+    for sql in [
+        "SELECT vid, length(trip), numInstants(trip), duration(trip, true) FROM trips ORDER BY vid",
+        "SELECT vid, startTimestamp(trip), endTimestamp(trip) FROM trips ORDER BY vid",
+        "SELECT vid, ST_AsText(trajectory(trip)) FROM trips ORDER BY vid",
+        "SELECT vid, trip::tstzspan, trip::STBOX FROM trips ORDER BY vid",
+    ] {
+        check(&v, &r, sql);
+    }
+}
+
+#[test]
+fn temporal_relationships_agree() {
+    let (v, r) = both();
+    for sql in [
+        "SELECT t1.vid, t2.vid, eDwithin(t1.trip, t2.trip, 100.0) \
+         FROM trips t1, trips t2 WHERE t1.vid < t2.vid ORDER BY 1, 2",
+        "SELECT t1.vid, t2.vid, whenTrue(tDwithin(t1.trip, t2.trip, 300.0)) \
+         FROM trips t1, trips t2 WHERE t1.vid < t2.vid ORDER BY 1, 2",
+        "SELECT vid FROM trips WHERE trip && stbox 'STBOX X((-10,-10),(500,500))' ORDER BY vid",
+        "SELECT vid, eIntersects(trip, geometry 'POLYGON((500 -100,1500 -100,1500 100,500 100,500 -100))') \
+         FROM trips ORDER BY vid",
+    ] {
+        check(&v, &r, sql);
+    }
+}
+
+#[test]
+fn restriction_functions_agree() {
+    let (v, r) = both();
+    for sql in [
+        "SELECT vid, asText(atTime(trip, tstzspan '[2025-01-01 08:05:00, 2025-01-01 08:15:00]')) \
+         FROM trips ORDER BY vid",
+        "SELECT vid, length(atGeometry(trip, geometry 'POLYGON((-100 -100,600 -100,600 900,-100 900,-100 -100))')) \
+         FROM trips ORDER BY vid",
+        "SELECT vid, ST_AsText(valueAtTimestamp(trip, timestamptz '2025-01-01 08:05:00')) \
+         FROM trips WHERE trip::tstzspan @> timestamptz '2025-01-01 08:05:00' ORDER BY vid",
+    ] {
+        check(&v, &r, sql);
+    }
+}
+
+#[test]
+fn aggregates_agree() {
+    let (v, r) = both();
+    for sql in [
+        "SELECT extent(trip) FROM trips",
+        "SELECT sum(length(trip)), max(length(trip)) FROM trips",
+        "SELECT tcount(trip) FROM trips",
+    ] {
+        check(&v, &r, sql);
+    }
+}
+
+#[test]
+fn index_scan_and_seq_scan_agree_on_temporal_predicates() {
+    // One engine instance with the TRTREE index, one without: the
+    // optimizer's scan injection must not change results.
+    let with_idx = Database::new();
+    mobilityduck::load(&with_idx);
+    let without = Database::new();
+    mobilityduck::load(&without);
+    for db in [&with_idx, &without] {
+        db.execute("CREATE TABLE boxes(id INTEGER, b STBOX)").unwrap();
+    }
+    with_idx.execute("CREATE INDEX bi ON boxes USING TRTREE(b)").unwrap();
+    for db in [&with_idx, &without] {
+        db.execute(
+            "INSERT INTO boxes SELECT i, ('STBOX X((' || i || ',' || i || '),(' || (i+5) || ',' \
+             || (i+5) || '))')::stbox FROM generate_series(1, 2000) AS t(i)",
+        )
+        .unwrap();
+    }
+    for probe in [
+        "STBOX X((100,100),(120,120))",
+        "STBOX X((1995,1995),(3000,3000))",
+        "STBOX X((-50,-50),(0,0))",
+    ] {
+        let q = format!("SELECT id FROM boxes WHERE b && stbox '{probe}' ORDER BY id");
+        let a: Vec<String> =
+            with_idx.execute(&q).unwrap().rows.iter().map(|r| r[0].to_string()).collect();
+        let b: Vec<String> =
+            without.execute(&q).unwrap().rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(a, b, "probe {probe}");
+    }
+}

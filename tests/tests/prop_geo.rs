@@ -1,0 +1,92 @@
+//! Property tests over the geometry kernel: WKT/WKB/native encodings
+//! round-trip arbitrary geometries; predicates behave consistently.
+
+use mduck_geo::algorithms::{distance, intersects};
+use mduck_geo::point::Point;
+use mduck_geo::{gserialized, wkb, wkt, Geometry};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    ((-1e6..1e6f64), (-1e6..1e6f64)).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_geometry() -> impl Strategy<Value = Geometry> {
+    prop_oneof![
+        arb_point().prop_map(Geometry::from_point),
+        proptest::collection::vec(arb_point(), 2..12)
+            .prop_map(|ps| Geometry::linestring(ps).unwrap()),
+        proptest::collection::vec(arb_point(), 1..8).prop_map(Geometry::multipoint),
+        // Axis-aligned rectangles (always valid rings).
+        (arb_point(), 1.0..1e4f64, 1.0..1e4f64).prop_map(|(p, w, h)| {
+            Geometry::polygon(vec![vec![
+                p,
+                Point::new(p.x + w, p.y),
+                Point::new(p.x + w, p.y + h),
+                Point::new(p.x, p.y + h),
+                p,
+            ]])
+            .unwrap()
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wkb_roundtrip(g in arb_geometry(), srid in 0i32..10_000) {
+        let g = g.with_srid(srid);
+        let back = wkb::from_wkb(&wkb::to_wkb(&g)).unwrap();
+        prop_assert_eq!(&g, &back);
+    }
+
+    #[test]
+    fn native_roundtrip(g in arb_geometry(), srid in 0i32..10_000) {
+        let g = g.with_srid(srid);
+        let bytes = gserialized::to_native(&g);
+        let back = gserialized::from_native(&bytes).unwrap();
+        prop_assert_eq!(&g, &back);
+        // The cached bbox header agrees with the computed one.
+        let (s, rect) = gserialized::peek_bbox(&bytes).unwrap();
+        prop_assert_eq!(s, srid);
+        prop_assert_eq!(Some(rect), g.bounding_rect());
+    }
+
+    #[test]
+    fn wkt_roundtrip_preserves_structure(g in arb_geometry()) {
+        let text = wkt::to_wkt(&g, None);
+        let back = wkt::parse_wkt(&text).unwrap();
+        // Re-printing the parse is a fixpoint.
+        prop_assert_eq!(wkt::to_wkt(&back, None), text);
+        prop_assert_eq!(back.num_points(), g.num_points());
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_consistent_with_intersects(a in arb_geometry(), b in arb_geometry()) {
+        let dab = distance(&a, &b);
+        let dba = distance(&b, &a);
+        prop_assert!((dab - dba).abs() <= 1e-9 * dab.abs().max(1.0), "{dab} vs {dba}");
+        prop_assert!(dab >= 0.0);
+        if intersects(&a, &b) {
+            prop_assert!(dab <= 1e-9);
+        } else {
+            prop_assert!(dab > 0.0);
+        }
+    }
+
+    #[test]
+    fn distance_to_self_is_zero(a in arb_geometry()) {
+        prop_assert!(distance(&a, &a) <= 1e-9);
+        prop_assert!(intersects(&a, &a));
+    }
+
+    #[test]
+    fn transform_roundtrip_mercator(p in arb_point()) {
+        // Stay in sane lat/lon bounds.
+        let lon = (p.x / 1e6) * 179.0;
+        let lat = (p.y / 1e6) * 80.0;
+        let g = Geometry::point(lon, lat).with_srid(4326);
+        let there = mduck_geo::transform::transform(&g, 3857).unwrap();
+        let back = mduck_geo::transform::transform(&there, 4326).unwrap();
+        let q = back.as_point().unwrap();
+        prop_assert!(q.close_to(&Point::new(lon, lat), 1e-6), "{q}");
+    }
+}

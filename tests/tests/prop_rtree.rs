@@ -1,0 +1,88 @@
+//! Property tests: the R-tree answers exactly like a brute-force scan,
+//! under bulk load, incremental insertion, and removal.
+
+use mduck_rtree::{RTree, Rect3};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect3> {
+    (
+        -1000.0..1000.0f64,
+        -1000.0..1000.0f64,
+        0.0..1000.0f64,
+        0.0..50.0f64,
+        0.0..50.0f64,
+        0.0..50.0f64,
+    )
+        .prop_map(|(x, y, t, w, h, d)| Rect3::new([x, y, t], [x + w, y + h, t + d]))
+}
+
+fn brute(items: &[(Rect3, u64)], q: &Rect3) -> Vec<u64> {
+    let mut out: Vec<u64> = items
+        .iter()
+        .filter(|(r, _)| r.intersects(q))
+        .map(|(_, id)| *id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #[test]
+    fn bulk_load_matches_brute_force(
+        rects in proptest::collection::vec(arb_rect(), 0..300),
+        queries in proptest::collection::vec(arb_rect(), 1..10),
+    ) {
+        let items: Vec<(Rect3, u64)> =
+            rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect();
+        let tree = RTree::bulk_load(items.clone());
+        tree.check_invariants();
+        for q in &queries {
+            let mut got = tree.search(q);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute(&items, q));
+        }
+    }
+
+    #[test]
+    fn incremental_matches_brute_force(
+        rects in proptest::collection::vec(arb_rect(), 1..200),
+        q in arb_rect(),
+    ) {
+        let items: Vec<(Rect3, u64)> =
+            rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect();
+        let mut tree = RTree::new();
+        for (r, id) in &items {
+            tree.insert(*r, *id);
+        }
+        tree.check_invariants();
+        let mut got = tree.search(&q);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute(&items, &q));
+    }
+
+    #[test]
+    fn removal_hides_entries(
+        rects in proptest::collection::vec(arb_rect(), 2..100),
+        removals in proptest::collection::vec(any::<prop::sample::Index>(), 1..20),
+    ) {
+        let items: Vec<(Rect3, u64)> =
+            rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect();
+        let mut tree = RTree::new();
+        for (r, id) in &items {
+            tree.insert(*r, *id);
+        }
+        let mut removed = std::collections::HashSet::new();
+        for idx in removals {
+            let (r, id) = items[idx.index(items.len())];
+            if removed.insert(id) {
+                prop_assert!(tree.remove(&r, id));
+            }
+        }
+        let everything = Rect3::new([-2000.0, -2000.0, -1.0], [2000.0, 2000.0, 2000.0]);
+        let got = tree.search(&everything);
+        prop_assert_eq!(got.len(), items.len() - removed.len());
+        for id in got {
+            prop_assert!(!removed.contains(&id));
+        }
+    }
+}
