@@ -3,7 +3,7 @@
 //! restriction (atTime/atGeometry), and the WKB-vs-native `_gs` geometry
 //! round trip of §6.3.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mduck_bench::micro::bench_function;
 use mduck_geo::point::Point;
 use mduck_geo::{gserialized, wkb, Geometry};
 use mduck_temporal::span::TstzSpan;
@@ -23,15 +23,11 @@ fn make_trip(n: usize, phase: f64) -> TGeomPoint {
     TGeomPoint::linear_seq(pts, 3405).unwrap()
 }
 
-fn bench_algebra(c: &mut Criterion) {
+fn main() {
     let a = make_trip(200, 0.0);
     let b = make_trip(200, 0.5);
-    c.bench_function("tdwithin_200x200", |bch| {
-        bch.iter(|| a.tdwithin(&b, 50.0).map(|t| t.num_instants()))
-    });
-    c.bench_function("tdistance_200x200", |bch| {
-        bch.iter(|| a.tdistance(&b).map(|t| t.num_instants()))
-    });
+    bench_function("tdwithin_200x200", || a.tdwithin(&b, 50.0).map(|t| t.num_instants()));
+    bench_function("tdistance_200x200", || a.tdistance(&b).map(|t| t.num_instants()));
     let period = TstzSpan::new(
         TimestampTz(1_700_000_000_000_000 + 30 * 60_000_000),
         TimestampTz(1_700_000_000_000_000 + 90 * 60_000_000),
@@ -39,9 +35,7 @@ fn bench_algebra(c: &mut Criterion) {
         true,
     )
     .unwrap();
-    c.bench_function("attime_200", |bch| {
-        bch.iter(|| a.at_period(&period).map(|t| t.temp.num_instants()))
-    });
+    bench_function("attime_200", || a.at_period(&period).map(|t| t.temp.num_instants()));
     let square = Geometry::polygon(vec![vec![
         Point::new(-500.0, -500.0),
         Point::new(500.0, -500.0),
@@ -50,25 +44,16 @@ fn bench_algebra(c: &mut Criterion) {
         Point::new(-500.0, -500.0),
     ]])
     .unwrap();
-    c.bench_function("atgeometry_200", |bch| {
-        bch.iter(|| a.at_geometry(&square).unwrap().map(|t| t.length()))
-    });
+    bench_function("atgeometry_200", || a.at_geometry(&square).unwrap().map(|t| t.length()));
 
     // The §6.3 conversion-overhead ablation: WKB round trip vs native.
     let traj = a.trajectory();
-    c.bench_function("geometry_wkb_roundtrip", |bch| {
-        bch.iter(|| wkb::from_wkb(&wkb::to_wkb(&traj)).unwrap().num_points())
+    bench_function("geometry_wkb_roundtrip", || {
+        wkb::from_wkb(&wkb::to_wkb(&traj)).unwrap().num_points()
     });
-    c.bench_function("geometry_native_roundtrip", |bch| {
-        bch.iter(|| {
-            gserialized::from_native(&gserialized::to_native(&traj)).unwrap().num_points()
-        })
+    bench_function("geometry_native_roundtrip", || {
+        gserialized::from_native(&gserialized::to_native(&traj)).unwrap().num_points()
     });
-    c.bench_function("geometry_native_peek_bbox", |bch| {
-        let bytes = gserialized::to_native(&traj);
-        bch.iter(|| gserialized::peek_bbox(&bytes).unwrap().0)
-    });
+    let bytes = gserialized::to_native(&traj);
+    bench_function("geometry_native_peek_bbox", || gserialized::peek_bbox(&bytes).unwrap().0);
 }
-
-criterion_group!(benches, bench_algebra);
-criterion_main!(benches);

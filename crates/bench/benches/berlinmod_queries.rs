@@ -1,32 +1,26 @@
-//! Criterion micro-benchmark behind Figure 12: a representative subset of
-//! the BerlinMOD queries (Q3 joins + temporal restriction, Q7 correlated
+//! Micro-benchmark behind Figure 12: a representative subset of the
+//! BerlinMOD queries (Q3 joins + temporal restriction, Q7 correlated
 //! ALL, Q10 tDwithin) at SF-0.001 across the three scenarios. The report
 //! binary `fig12_berlinmod` runs all 17 queries at all four scale factors.
 
 use berlinmod::benchmark_queries;
 use berlinmod::ScaleFactor;
-use criterion::{criterion_group, criterion_main, Criterion};
+use mduck_bench::micro::bench_function;
 use mduck_bench::{BenchEnv, Scenario};
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     let env = BenchEnv::prepare(ScaleFactor(0.001), 42);
     let queries = benchmark_queries();
     for id in [1u32, 3, 4, 8] {
         let (_, _, sql) = queries.iter().find(|(q, _, _)| *q == id).unwrap();
-        let mut g = c.benchmark_group(format!("berlinmod_q{id}_sf0.001"));
-        g.sample_size(10);
-        g.bench_function("mobilityduck", |b| {
-            b.iter(|| env.run(Scenario::MobilityDuck, sql).1)
+        bench_function(&format!("berlinmod_q{id}_sf0.001/mobilityduck"), || {
+            env.run(Scenario::MobilityDuck, sql).1
         });
-        g.bench_function("mobilitydb_plain", |b| {
-            b.iter(|| env.run(Scenario::MobilityDbPlain, sql).1)
+        bench_function(&format!("berlinmod_q{id}_sf0.001/mobilitydb_plain"), || {
+            env.run(Scenario::MobilityDbPlain, sql).1
         });
-        g.bench_function("mobilitydb_indexed", |b| {
-            b.iter(|| env.run(Scenario::MobilityDbIndexed, sql).1)
+        bench_function(&format!("berlinmod_q{id}_sf0.001/mobilitydb_indexed"), || {
+            env.run(Scenario::MobilityDbIndexed, sql).1
         });
-        g.finish();
     }
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmark behind Figure 2: TRTREE index scan vs
-//! sequential scan on the §4.4 synthetic table (10k rows — the report
-//! binary `fig2_rtree` sweeps the full 1k..1M range).
+//! Micro-benchmark behind Figure 2: TRTREE index scan vs sequential scan
+//! on the §4.4 synthetic table (10k rows — the report binary `fig2_rtree`
+//! sweeps the full 1k..1M range).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mduck_bench::micro::bench_function;
 use quackdb::Database;
 
 fn setup(n: usize, with_index: bool) -> Database {
@@ -24,7 +24,7 @@ fn setup(n: usize, with_index: bool) -> Database {
     db
 }
 
-fn bench_scans(c: &mut Criterion) {
+fn main() {
     const N: usize = 10_000;
     let q = format!(
         "SELECT count(*) FROM test_geo WHERE box && STBOX('STBOX X(({lo},{lo}),({hi},{hi}))')",
@@ -33,13 +33,6 @@ fn bench_scans(c: &mut Criterion) {
     );
     let indexed = setup(N, true);
     let plain = setup(N, false);
-    let mut g = c.benchmark_group("rtree_vs_seq_10k");
-    g.bench_function("trtree_index_scan", |b| {
-        b.iter(|| indexed.execute(&q).unwrap().rows.len())
-    });
-    g.bench_function("seq_scan", |b| b.iter(|| plain.execute(&q).unwrap().rows.len()));
-    g.finish();
+    bench_function("rtree_vs_seq_10k/trtree_index_scan", || indexed.execute(&q).unwrap().rows.len());
+    bench_function("rtree_vs_seq_10k/seq_scan", || plain.execute(&q).unwrap().rows.len());
 }
-
-criterion_group!(benches, bench_scans);
-criterion_main!(benches);

@@ -5,6 +5,8 @@
 //! the shared scenario plumbing: engine setup, timing, and plain-text
 //! table rendering.
 
+pub mod micro;
+
 use std::time::Instant;
 
 use berlinmod::{BerlinModData, RoadNetwork, ScaleFactor};

@@ -1,0 +1,56 @@
+//! Minimal micro-benchmark harness replacing the external `criterion`
+//! dependency: warm-up, adaptive iteration count, median-of-samples
+//! timing, plain-text reporting. Deterministic in structure (no random
+//! sampling), so results are comparable run-to-run.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Run `f` repeatedly and report the median per-iteration time.
+///
+/// Strategy: one warm-up call; pick an iteration count so each sample
+/// takes ≥ ~5 ms; collect 15 samples; report the median.
+pub fn bench_function<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up and calibration.
+    let start = Instant::now();
+    black_box(f());
+    let one = start.elapsed().max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(5).as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(15);
+    for _ in 0..15 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[1], samples[samples.len() - 2]);
+    println!("{name:<40} {:>12}/iter  [{} .. {}]", fmt_ns(median), fmt_ns(lo), fmt_ns(hi));
+}
+
+fn fmt_ns(secs: f64) -> String {
+    let ns = secs * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(super::fmt_ns(5e-9), "5 ns");
+        assert_eq!(super::fmt_ns(5e-6), "5.00 µs");
+        assert_eq!(super::fmt_ns(5e-3), "5.00 ms");
+        assert_eq!(super::fmt_ns(5.0), "5.000 s");
+    }
+}

@@ -9,8 +9,8 @@ use mduck_sql::{SqlResult, Value};
 use mduck_temporal::span::TstzSpan;
 use mduck_temporal::TimestampTz;
 use mobilityduck::{MdTGeomPoint, MdTstzSpan};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mduck_prng::StdRng;
+use mduck_prng::{RngExt, SeedableRng};
 
 use crate::network::{RoadNetwork, NETWORK_SRID};
 use crate::trips::{first_day, generate_trips, ScaleFactor, Trip, Vehicle};

@@ -9,8 +9,8 @@
 
 use mduck_geo::point::Point;
 use mduck_geo::Geometry;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mduck_prng::StdRng;
+use mduck_prng::{RngExt, SeedableRng};
 
 /// SRID of all network coordinates.
 pub const NETWORK_SRID: i32 = 3405;
@@ -91,7 +91,7 @@ impl RoadNetwork {
                     CENTER.x + gx as f64 * SPACING + jx,
                     CENTER.y + gy as f64 * SPACING + jy,
                 );
-                let district = district_of(gx, gy);
+                let district = district_at(&pos);
                 nodes.push(Node { pos, district });
             }
         }
@@ -213,9 +213,17 @@ impl RoadNetwork {
 
 /// Assign a grid cell to one of the 12 districts: a 4 × 3 tiling of the
 /// city square (rough but deterministic; the polygons match).
-fn district_of(gx: i32, gy: i32) -> usize {
-    let col = (((gx + HALF) * 4) / (2 * HALF + 1)).clamp(0, 3) as usize;
-    let row = (((gy + HALF) * 3) / (2 * HALF + 1)).clamp(0, 2) as usize;
+/// District of a (jittered) position: the 4×3 rectangle grid cell that
+/// contains it, clamped to the extent for perimeter nodes whose jitter
+/// pushes them past the edge. Assigning from the actual position (rather
+/// than the integer grid cell) keeps `Node::district` consistent with
+/// `District::polygon`.
+fn district_at(pos: &Point) -> usize {
+    let size = (2 * HALF) as f64 * SPACING;
+    let x0 = CENTER.x - size / 2.0;
+    let y0 = CENTER.y - size / 2.0;
+    let col = (((pos.x - x0) / (size / 4.0)).floor() as i32).clamp(0, 3) as usize;
+    let row = (((pos.y - y0) / (size / 3.0)).floor() as i32).clamp(0, 2) as usize;
     row * 4 + col
 }
 

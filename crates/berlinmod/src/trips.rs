@@ -10,8 +10,8 @@ use mduck_geo::point::Point;
 use mduck_temporal::temporal::TGeomPoint;
 use mduck_temporal::time::USECS_PER_SEC;
 use mduck_temporal::{Date, TimestampTz};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mduck_prng::StdRng;
+use mduck_prng::{RngExt, SeedableRng};
 
 use crate::network::RoadNetwork;
 

@@ -107,17 +107,17 @@ pub fn distance(a: &Geometry, b: &Geometry) -> f64 {
 
     // Containment: a point of one inside a polygon of the other → 0.
     for g in a.flatten() {
-        if matches!(g.data, GeomData::Polygon(_)) {
-            if b_pts.iter().any(|p| geometry_covers_point(g, *p)) {
-                return 0.0;
-            }
+        if matches!(g.data, GeomData::Polygon(_))
+            && b_pts.iter().any(|p| geometry_covers_point(g, *p))
+        {
+            return 0.0;
         }
     }
     for g in b.flatten() {
-        if matches!(g.data, GeomData::Polygon(_)) {
-            if a_pts.iter().any(|p| geometry_covers_point(g, *p)) {
-                return 0.0;
-            }
+        if matches!(g.data, GeomData::Polygon(_))
+            && a_pts.iter().any(|p| geometry_covers_point(g, *p))
+        {
+            return 0.0;
         }
     }
 
@@ -216,7 +216,9 @@ pub fn clip_segment_to_rings(a: Point, b: Point, rings: &[Vec<Point>]) -> Vec<(f
             }
         }
     }
-    cuts.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    // total_cmp: intersection parameters computed from degenerate
+    // (infinite-coordinate) input can be NaN; sorting must not panic.
+    cuts.sort_by(|x, y| x.total_cmp(y));
     cuts.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
     let mut out: Vec<(f64, f64)> = Vec::new();
     for w in cuts.windows(2) {

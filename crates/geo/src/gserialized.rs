@@ -36,7 +36,8 @@ pub fn from_native(bytes: &[u8]) -> GeoResult<Geometry> {
     let mut r = NativeReader { bytes, pos: 0 };
     r.expect_header()?;
     let kind = r.bytes[2];
-    let srid = i32::from_le_bytes(r.bytes[4..8].try_into().unwrap());
+    r.pos = 4;
+    let srid = i32::from_le_bytes(r.take_arr()?);
     r.pos = 8 + 32; // skip header + cached box
     let data = r.read_data(kind)?;
     if r.pos != bytes.len() {
@@ -51,9 +52,15 @@ pub fn peek_bbox(bytes: &[u8]) -> GeoResult<(i32, Rect)> {
     if bytes.len() < 40 || bytes[0] != MAGIC || bytes[1] != VERSION {
         return Err(GeoError::ParseNative("bad header".into()));
     }
-    let srid = i32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    let f = |i: usize| f64::from_le_bytes(bytes[8 + i * 8..16 + i * 8].try_into().unwrap());
-    Ok((srid, Rect { xmin: f(0), ymin: f(1), xmax: f(2), ymax: f(3) }))
+    // Length was checked above; read through the fallible reader anyway
+    // so there is no unchecked slicing left on this path.
+    let mut r = NativeReader { bytes, pos: 4 };
+    let srid = i32::from_le_bytes(r.take_arr()?);
+    let mut c = [0.0f64; 4];
+    for v in &mut c {
+        *v = r.f64()?;
+    }
+    Ok((srid, Rect { xmin: c[0], ymin: c[1], xmax: c[2], ymax: c[3] }))
 }
 
 /// True when `bytes` look like the native encoding (vs WKB, whose first byte
@@ -135,12 +142,19 @@ impl<'a> NativeReader<'a> {
         Ok(s)
     }
 
+    fn take_arr<const N: usize>(&mut self) -> GeoResult<[u8; N]> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     fn u32(&mut self) -> GeoResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
 
     fn f64(&mut self) -> GeoResult<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_arr()?))
     }
 
     fn point(&mut self) -> GeoResult<Point> {
@@ -178,7 +192,7 @@ impl<'a> NativeReader<'a> {
                 let mut gs = Vec::with_capacity(n);
                 for _ in 0..n {
                     let k = self.take(1)?[0];
-                    let srid = i32::from_le_bytes(self.take(4)?.try_into().unwrap());
+                    let srid = i32::from_le_bytes(self.take_arr()?);
                     let data = self.read_data(k)?;
                     gs.push(Geometry { srid, data });
                 }

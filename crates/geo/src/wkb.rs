@@ -105,13 +105,20 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn take_arr<const N: usize>(&mut self) -> GeoResult<[u8; N]> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     fn u32(&mut self, le: bool) -> GeoResult<u32> {
-        let b: [u8; 4] = self.take(4)?.try_into().unwrap();
+        let b: [u8; 4] = self.take_arr()?;
         Ok(if le { u32::from_le_bytes(b) } else { u32::from_be_bytes(b) })
     }
 
     fn f64(&mut self, le: bool) -> GeoResult<f64> {
-        let b: [u8; 8] = self.take(8)?.try_into().unwrap();
+        let b: [u8; 8] = self.take_arr()?;
         Ok(if le { f64::from_le_bytes(b) } else { f64::from_be_bytes(b) })
     }
 

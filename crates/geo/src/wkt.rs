@@ -15,10 +15,17 @@ pub fn parse_wkt(input: &str) -> GeoResult<Geometry> {
     let g = p.parse_geometry(SRID_UNKNOWN)?;
     p.skip_ws();
     if !p.at_end() {
+        // Truncate on a char boundary: the trailing garbage is exactly
+        // where multi-byte junk lives, and the error path must not panic.
+        let rest = p.rest();
+        let mut end = rest.len().min(16);
+        while !rest.is_char_boundary(end) {
+            end -= 1;
+        }
         return Err(GeoError::ParseWkt(format!(
             "trailing input at offset {}: {:?}",
             p.pos,
-            &p.rest()[..p.rest().len().min(16)]
+            &rest[..end]
         )));
     }
     Ok(g)
@@ -252,9 +259,15 @@ impl<'a> WktParser<'a> {
     fn parse_geometry(&mut self, inherited_srid: i32) -> GeoResult<Geometry> {
         self.skip_ws();
         let mut srid = inherited_srid;
-        if self.rest().len() >= 5 && self.rest()[..5].eq_ignore_ascii_case("srid=") {
+        // Checked slice: byte 5 of arbitrary input may fall inside a
+        // multi-byte character, where `rest[..5]` would panic.
+        if self.rest().get(..5).is_some_and(|p| p.eq_ignore_ascii_case("srid=")) {
             self.pos += 5;
             let v = self.number()?;
+            // `v as i32` would silently saturate out-of-range SRIDs.
+            if !(v.is_finite() && v.fract() == 0.0 && (f64::from(i32::MIN)..=f64::from(i32::MAX)).contains(&v)) {
+                return Err(GeoError::ParseWkt(format!("SRID {v} out of range")));
+            }
             srid = v as i32;
             self.eat(';')?;
         }

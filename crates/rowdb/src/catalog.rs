@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use mduck_sync::RwLock;
 
 use mduck_sql::{Catalog, LogicalType, SqlError, SqlResult, Value};
 

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use mduck_sync::RwLock;
 
 use mduck_sql::ast::{InsertSource, Statement};
 use mduck_sql::eval::{eval, OuterStack};
@@ -45,15 +45,15 @@ impl RowDatabase {
         }
     }
 
-    pub fn registry_mut(&self) -> parking_lot::RwLockWriteGuard<'_, Registry> {
+    pub fn registry_mut(&self) -> mduck_sync::RwLockWriteGuard<'_, Registry> {
         self.registry.write()
     }
 
-    pub fn registry(&self) -> parking_lot::RwLockReadGuard<'_, Registry> {
+    pub fn registry(&self) -> mduck_sync::RwLockReadGuard<'_, Registry> {
         self.registry.read()
     }
 
-    pub fn index_types_mut(&self) -> parking_lot::RwLockWriteGuard<'_, RowIndexRegistry> {
+    pub fn index_types_mut(&self) -> mduck_sync::RwLockWriteGuard<'_, RowIndexRegistry> {
         self.index_types.write()
     }
 
@@ -71,7 +71,27 @@ impl RowDatabase {
         Ok(last)
     }
 
+    /// Execute a parsed statement. Like quackdb, this is the engine's
+    /// no-panic boundary: a panic escaping the Volcano executor is caught
+    /// and surfaced as [`SqlError::Internal`] instead of unwinding into
+    /// the host (the interior locks recover from poisoning).
     pub fn execute_statement(&self, stmt: &Statement) -> SqlResult<RowQueryResult> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_statement(stmt)
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(SqlError::internal(format!("executor panicked: {msg}")))
+            }
+        }
+    }
+
+    fn run_statement(&self, stmt: &Statement) -> SqlResult<RowQueryResult> {
         match stmt {
             Statement::Select(sel) => {
                 let registry = self.registry.read();

@@ -128,23 +128,15 @@ fn str_pack_level(entries: &mut Vec<Entry>, leaf: bool) -> Vec<Node> {
     let slabs = (num_nodes as f64).sqrt().ceil() as usize;
     let per_slab = (n.div_ceil(slabs.max(1))).div_ceil(node_cap) * node_cap;
 
-    entries.sort_by(|a, b| {
-        a.rect()
-            .center(0)
-            .partial_cmp(&b.rect().center(0))
-            .expect("finite centers")
-    });
+    // total_cmp: degenerate input rects (e.g. infinite extents whose
+    // center is NaN) must not panic index construction.
+    entries.sort_by(|a, b| a.rect().center(0).total_cmp(&b.rect().center(0)));
     let mut nodes = Vec::with_capacity(num_nodes);
     let mut rest: &mut [Entry] = entries.as_mut_slice();
     while !rest.is_empty() {
         let take = per_slab.min(rest.len()).max(1);
         let (slab, tail) = rest.split_at_mut(take);
-        slab.sort_by(|a, b| {
-            a.rect()
-                .center(1)
-                .partial_cmp(&b.rect().center(1))
-                .expect("finite centers")
-        });
+        slab.sort_by(|a, b| a.rect().center(1).total_cmp(&b.rect().center(1)));
         for chunk in slab.chunks_mut(node_cap) {
             let mut node = if leaf { Node::new_leaf() } else { Node::new_inner() };
             for e in chunk.iter_mut() {

@@ -394,6 +394,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // the literal is a rounding fixture, not π
     fn round_with_scale() {
         let r = reg();
         let sig = r.resolve_scalar("round", &[LogicalType::Float, LogicalType::Int]).unwrap();

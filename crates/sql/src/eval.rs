@@ -183,7 +183,7 @@ pub fn eval(
             let mut any_hit = false;
             let mut all_hit = true;
             for r in rows {
-                let v = &r[0];
+                let Some(v) = r.first() else { continue };
                 if v.is_null() {
                     saw_null = true;
                     continue;
@@ -258,22 +258,25 @@ pub fn arith(op: BinaryOp, l: &Value, r: &Value) -> SqlResult<Value> {
     if op == BinaryOp::Concat {
         return Ok(Value::text(format!("{l}{r}")));
     }
+    let overflow =
+        |what: &str| SqlError::overflow(format!("bigint {what} of {l} and {r} out of range"));
     let v = match (l, r) {
         (Int(a), Int(b)) => match op {
-            BinaryOp::Add => Int(a + b),
-            BinaryOp::Sub => Int(a - b),
-            BinaryOp::Mul => Int(a * b),
+            BinaryOp::Add => Int(a.checked_add(*b).ok_or_else(|| overflow("addition"))?),
+            BinaryOp::Sub => Int(a.checked_sub(*b).ok_or_else(|| overflow("subtraction"))?),
+            BinaryOp::Mul => Int(a.checked_mul(*b).ok_or_else(|| overflow("multiplication"))?),
             BinaryOp::Div => {
                 if *b == 0 {
                     return Err(SqlError::execution("division by zero"));
                 }
-                Int(a / b)
+                // i64::MIN / -1 overflows.
+                Int(a.checked_div(*b).ok_or_else(|| overflow("division"))?)
             }
             BinaryOp::Mod => {
                 if *b == 0 {
                     return Err(SqlError::execution("modulo by zero"));
                 }
-                Int(a % b)
+                Int(a.checked_rem(*b).ok_or_else(|| overflow("modulo"))?)
             }
             _ => return Err(SqlError::execution("bad arithmetic op")),
         },
@@ -308,31 +311,47 @@ pub fn arith(op: BinaryOp, l: &Value, r: &Value) -> SqlResult<Value> {
             let iv = mduck_temporal::Interval { months: *months, days: *days, usecs: *usecs };
             Timestamp(ts.add_interval(&iv).0)
         }
-        (Timestamp(a), Timestamp(b)) if op == BinaryOp::Sub => {
-            Interval { months: 0, days: 0, usecs: a - b }
-        }
+        (Timestamp(a), Timestamp(b)) if op == BinaryOp::Sub => Interval {
+            months: 0,
+            days: 0,
+            usecs: a.checked_sub(*b).ok_or_else(|| overflow("timestamp difference"))?,
+        },
         (Date(d), Interval { .. }) => {
             return arith(op, &Timestamp(*d as i64 * 86_400_000_000), r);
         }
-        (Date(d), Int(n)) => match op {
-            BinaryOp::Add => Date(d + *n as i32),
-            BinaryOp::Sub => Date(d - *n as i32),
-            _ => return Err(SqlError::execution("bad date arithmetic")),
-        },
-        (Date(a), Date(b)) if op == BinaryOp::Sub => Int((a - b) as i64),
+        (Date(d), Int(n)) => {
+            let n = i32::try_from(*n).map_err(|_| overflow("date shift"))?;
+            match op {
+                BinaryOp::Add => Date(d.checked_add(n).ok_or_else(|| overflow("date shift"))?),
+                BinaryOp::Sub => Date(d.checked_sub(n).ok_or_else(|| overflow("date shift"))?),
+                _ => return Err(SqlError::execution("bad date arithmetic")),
+            }
+        }
+        (Date(a), Date(b)) if op == BinaryOp::Sub => Int(*a as i64 - *b as i64),
         (
             Interval { months: m1, days: d1, usecs: u1 },
             Interval { months: m2, days: d2, usecs: u2 },
         ) => match op {
-            BinaryOp::Add => Interval { months: m1 + m2, days: d1 + d2, usecs: u1 + u2 },
-            BinaryOp::Sub => Interval { months: m1 - m2, days: d1 - d2, usecs: u1 - u2 },
+            BinaryOp::Add => Interval {
+                months: m1.checked_add(*m2).ok_or_else(|| overflow("interval addition"))?,
+                days: d1.checked_add(*d2).ok_or_else(|| overflow("interval addition"))?,
+                usecs: u1.checked_add(*u2).ok_or_else(|| overflow("interval addition"))?,
+            },
+            BinaryOp::Sub => Interval {
+                months: m1.checked_sub(*m2).ok_or_else(|| overflow("interval subtraction"))?,
+                days: d1.checked_sub(*d2).ok_or_else(|| overflow("interval subtraction"))?,
+                usecs: u1.checked_sub(*u2).ok_or_else(|| overflow("interval subtraction"))?,
+            },
             _ => return Err(SqlError::execution("bad interval arithmetic")),
         },
-        (Interval { months, days, usecs }, Int(k)) if op == BinaryOp::Mul => Interval {
-            months: months * *k as i32,
-            days: days * *k as i32,
-            usecs: usecs * k,
-        },
+        (Interval { months, days, usecs }, Int(k)) if op == BinaryOp::Mul => {
+            let k32 = i32::try_from(*k).map_err(|_| overflow("interval scaling"))?;
+            Interval {
+                months: months.checked_mul(k32).ok_or_else(|| overflow("interval scaling"))?,
+                days: days.checked_mul(k32).ok_or_else(|| overflow("interval scaling"))?,
+                usecs: usecs.checked_mul(*k).ok_or_else(|| overflow("interval scaling"))?,
+            }
+        }
         (Int(k), Interval { .. }) if op == BinaryOp::Mul => return arith(op, r, l),
         _ => {
             return Err(SqlError::execution(format!(

@@ -1,0 +1,230 @@
+//! Per-query execution guard: cancellation, wall-clock timeout, row
+//! budget, and subquery-recursion limits.
+//!
+//! The engine is embedded in a host process, so a pathological query must
+//! not be able to monopolize it. A fresh [`ExecGuard`] is created for
+//! every statement from the database's [`ExecLimits`]; the executor calls
+//! [`ExecGuard::check_rows`] at chunk boundaries (cheap: one branch per
+//! chunk, the deadline is only consulted every few calls) and
+//! [`ExecGuard::enter_subquery`] at plan-recursion points. Any exceeded
+//! budget surfaces as [`SqlError::ResourceExhausted`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{SqlError, SqlResult};
+
+/// Resource limits applied to every statement. The default is fully
+/// permissive (embedded analytics workloads routinely run long scans);
+/// servers should set a timeout and row budget.
+#[derive(Debug, Clone)]
+pub struct ExecLimits {
+    /// Wall-clock ceiling for one statement.
+    pub timeout: Option<Duration>,
+    /// Ceiling on rows *materialized* by one statement, counting every
+    /// operator's output, not just the final result.
+    pub row_budget: Option<u64>,
+    /// Ceiling on nested subquery execution depth.
+    pub max_subquery_depth: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits { timeout: None, row_budget: None, max_subquery_depth: 32 }
+    }
+}
+
+impl ExecLimits {
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    pub fn with_row_budget(mut self, rows: u64) -> Self {
+        self.row_budget = Some(rows);
+        self
+    }
+
+    pub fn with_max_subquery_depth(mut self, depth: usize) -> Self {
+        self.max_subquery_depth = depth;
+        self
+    }
+}
+
+/// Cross-thread cancellation handle for an in-flight statement.
+#[derive(Debug, Clone, Default)]
+pub struct CancelHandle(Arc<AtomicBool>);
+
+impl CancelHandle {
+    /// Request cancellation; the statement fails with
+    /// `SqlError::ResourceExhausted("query canceled")` at its next check.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_canceled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// How many `check_rows`/`tick` calls go between deadline reads.
+/// `Instant::now()` costs a vdso call; chunk boundaries are already
+/// coarse-grained, so a small stride keeps overhead negligible while
+/// bounding timeout slack to a few chunks.
+const DEADLINE_STRIDE: u32 = 8;
+
+/// The per-statement guard. Cheap to create; not `Sync` (one per query
+/// execution), but cancellation is observed from any thread through the
+/// shared [`CancelHandle`].
+#[derive(Debug)]
+pub struct ExecGuard {
+    cancel: CancelHandle,
+    deadline: Option<Instant>,
+    rows_remaining: Cell<Option<u64>>,
+    subquery_depth: Cell<usize>,
+    max_subquery_depth: usize,
+    ticks: Cell<u32>,
+}
+
+impl Default for ExecGuard {
+    fn default() -> Self {
+        ExecGuard::new(&ExecLimits::default())
+    }
+}
+
+impl ExecGuard {
+    pub fn new(limits: &ExecLimits) -> Self {
+        ExecGuard {
+            cancel: CancelHandle::default(),
+            deadline: limits.timeout.map(|t| Instant::now() + t),
+            rows_remaining: Cell::new(limits.row_budget),
+            subquery_depth: Cell::new(0),
+            max_subquery_depth: limits.max_subquery_depth,
+            ticks: Cell::new(0),
+        }
+    }
+
+    /// The handle another thread can use to cancel this statement.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.clone()
+    }
+
+    /// Charge `n` rows against the budget and poll deadline/cancellation.
+    /// Call at chunk boundaries.
+    pub fn check_rows(&self, n: usize) -> SqlResult<()> {
+        if let Some(remaining) = self.rows_remaining.get() {
+            let n = n as u64;
+            if remaining < n {
+                self.rows_remaining.set(Some(0));
+                return Err(SqlError::resource_exhausted(
+                    "query exceeded its row budget",
+                ));
+            }
+            self.rows_remaining.set(Some(remaining - n));
+        }
+        self.tick()
+    }
+
+    /// Poll deadline and cancellation without charging rows.
+    pub fn tick(&self) -> SqlResult<()> {
+        if self.cancel.is_canceled() {
+            return Err(SqlError::resource_exhausted("query canceled"));
+        }
+        let t = self.ticks.get().wrapping_add(1);
+        self.ticks.set(t);
+        // Always check on the first tick (so a statement with few chunk
+        // boundaries still observes an already-expired deadline), then
+        // every DEADLINE_STRIDE-th to keep Instant::now() off hot loops.
+        if t == 1 || t % DEADLINE_STRIDE == 0 {
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Unconditionally check the wall-clock deadline.
+    pub fn check_deadline(&self) -> SqlResult<()> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(SqlError::resource_exhausted(
+                    "query exceeded its wall-clock timeout",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Enter one level of subquery execution; pair with
+    /// [`ExecGuard::exit_subquery`].
+    pub fn enter_subquery(&self) -> SqlResult<()> {
+        let d = self.subquery_depth.get() + 1;
+        if d > self.max_subquery_depth {
+            return Err(SqlError::resource_exhausted(format!(
+                "subquery nesting exceeds {} levels",
+                self.max_subquery_depth
+            )));
+        }
+        self.subquery_depth.set(d);
+        // Correlated subqueries re-enter the executor per outer row; the
+        // deadline must stay live even if every inner chunk is tiny.
+        self.tick()
+    }
+
+    pub fn exit_subquery(&self) {
+        let d = self.subquery_depth.get();
+        self.subquery_depth.set(d.saturating_sub(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_by_default() {
+        let g = ExecGuard::default();
+        for _ in 0..10_000 {
+            g.check_rows(1 << 20).unwrap();
+        }
+    }
+
+    #[test]
+    fn row_budget_trips() {
+        let g = ExecGuard::new(&ExecLimits::default().with_row_budget(100));
+        assert!(g.check_rows(60).is_ok());
+        let err = g.check_rows(60).unwrap_err();
+        assert!(matches!(err, SqlError::ResourceExhausted(_)), "{err}");
+        // Stays tripped.
+        assert!(g.check_rows(1).is_err());
+    }
+
+    #[test]
+    fn timeout_trips() {
+        let g = ExecGuard::new(&ExecLimits::default().with_timeout(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = g.check_deadline().unwrap_err();
+        assert!(matches!(err, SqlError::ResourceExhausted(_)), "{err}");
+    }
+
+    #[test]
+    fn cancellation_observed() {
+        let g = ExecGuard::default();
+        let h = g.cancel_handle();
+        assert!(g.tick().is_ok());
+        h.cancel();
+        assert!(matches!(g.tick(), Err(SqlError::ResourceExhausted(_))));
+    }
+
+    #[test]
+    fn subquery_depth_bounded() {
+        let g = ExecGuard::new(&ExecLimits::default().with_max_subquery_depth(2));
+        g.enter_subquery().unwrap();
+        g.enter_subquery().unwrap();
+        assert!(g.enter_subquery().is_err());
+        g.exit_subquery();
+        g.exit_subquery();
+        g.exit_subquery(); // saturates, no underflow
+        g.enter_subquery().unwrap();
+    }
+}

@@ -87,8 +87,9 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                     }
                 } else {
                     // Multi-byte safe: push the full char.
-                    let ch_str = &input[i..];
-                    let ch = ch_str.chars().next().unwrap();
+                    let Some(ch) = input.get(i..).and_then(|s| s.chars().next()) else {
+                        return Err(SqlError::Lex("invalid UTF-8 boundary in string".into()));
+                    };
                     s.push(ch);
                     i += ch.len_utf8();
                 }
@@ -113,7 +114,9 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                         break;
                     }
                 } else {
-                    let ch = input[i..].chars().next().unwrap();
+                    let Some(ch) = input.get(i..).and_then(|s| s.chars().next()) else {
+                        return Err(SqlError::Lex("invalid UTF-8 boundary in identifier".into()));
+                    };
                     s.push(ch);
                     i += ch.len_utf8();
                 }
@@ -180,11 +183,12 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
             tokens.push(Token::Ident(input[start..i].to_string()));
             continue;
         }
-        // Symbols (longest match first).
-        let rest = &input[i..];
+        // Symbols (longest match first). Match on bytes: a comment scan
+        // can leave `i` inside a multi-byte char, where slicing the &str
+        // would panic.
         let mut matched = false;
         for sym in SYMBOLS {
-            if rest.starts_with(sym) {
+            if bytes[i..].starts_with(sym.as_bytes()) {
                 tokens.push(Token::Symbol(sym));
                 i += sym.len();
                 matched = true;
@@ -194,7 +198,12 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
         if matched {
             continue;
         }
-        return Err(SqlError::Lex(format!("unexpected character {c:?} at offset {i}")));
+        // `c` is a single byte; decode the real char for the message so
+        // multi-byte input isn't reported as its mangled first byte.
+        return Err(SqlError::Lex(match input.get(i..).and_then(|t| t.chars().next()) {
+            Some(ch) => format!("unexpected character {ch:?} at offset {i}"),
+            None => format!("unexpected byte {:#04x} at offset {i}", bytes[i]),
+        }));
     }
     tokens.push(Token::Eof);
     Ok(tokens)

@@ -16,6 +16,7 @@ pub mod bound;
 pub mod builtins;
 pub mod error;
 pub mod eval;
+pub mod guard;
 pub mod lexer;
 pub mod parser;
 pub mod registry;
@@ -29,6 +30,7 @@ pub use bound::{
 };
 pub use error::{SqlError, SqlResult};
 pub use eval::{compare, eval, OuterStack, SubqueryExec};
+pub use guard::{CancelHandle, ExecGuard, ExecLimits};
 pub use parser::{parse_script, parse_statement};
 pub use registry::{AggState, Registry, ScalarFn, ScalarSig};
 pub use value::{ExtObject, ExtValue, LogicalType, Value};

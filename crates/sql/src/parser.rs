@@ -20,10 +20,18 @@ const RESERVED: &[&str] = &[
     "then", "else", "end", "by",
 ];
 
+/// Hard ceiling on parser recursion (nested parens, subqueries, NOT/neg
+/// chains). Recursion past the stack limit aborts the process — it cannot
+/// be caught — so it must be refused up front. One level costs the whole
+/// precedence chain (~10 frames), so the ceiling is sized for a 2 MiB
+/// thread stack in debug builds, with headroom for the recursive
+/// evaluator that later walks the same tree.
+pub const MAX_PARSER_DEPTH: usize = 64;
+
 /// Parse one statement (a trailing `;` is allowed).
 pub fn parse_statement(sql: &str) -> SqlResult<Statement> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let stmt = p.statement()?;
     p.eat_symbol(";");
     p.expect_eof()?;
@@ -33,7 +41,7 @@ pub fn parse_statement(sql: &str) -> SqlResult<Statement> {
 /// Parse a sequence of `;`-separated statements.
 pub fn parse_script(sql: &str) -> SqlResult<Vec<Statement>> {
     let tokens = tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let mut out = Vec::new();
     loop {
         while p.eat_symbol(";") {}
@@ -48,11 +56,25 @@ pub fn parse_script(sql: &str) -> SqlResult<Vec<Statement>> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
+    /// Run `f` one recursion level deeper, refusing past the ceiling.
+    fn with_depth<T>(&mut self, f: impl FnOnce(&mut Self) -> SqlResult<T>) -> SqlResult<T> {
+        if self.depth >= MAX_PARSER_DEPTH {
+            return Err(SqlError::ResourceExhausted(format!(
+                "query nesting exceeds {MAX_PARSER_DEPTH} levels"
+            )));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
+    }
+
     fn peek(&self) -> &Token {
-        &self.tokens[self.pos]
+        self.tokens.get(self.pos).unwrap_or(&Token::Eof)
     }
 
     fn peek2(&self) -> &Token {
@@ -281,6 +303,10 @@ impl Parser {
     // ------------------------------------------------------------ select
 
     fn select_stmt(&mut self) -> SqlResult<SelectStmt> {
+        self.with_depth(|p| p.select_stmt_inner())
+    }
+
+    fn select_stmt_inner(&mut self) -> SqlResult<SelectStmt> {
         let mut ctes = Vec::new();
         if self.eat_kw("with") {
             loop {
@@ -491,7 +517,7 @@ impl Parser {
     // ------------------------------------------------------------ expressions
 
     pub(crate) fn expr(&mut self) -> SqlResult<Expr> {
-        self.or_expr()
+        self.with_depth(|p| p.or_expr())
     }
 
     fn or_expr(&mut self) -> SqlResult<Expr> {
@@ -514,7 +540,7 @@ impl Parser {
 
     fn not_expr(&mut self) -> SqlResult<Expr> {
         if self.eat_kw("not") {
-            let inner = self.not_expr()?;
+            let inner = self.with_depth(|p| p.not_expr())?;
             return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
         }
         self.comparison_expr()
@@ -652,7 +678,7 @@ impl Parser {
 
     fn unary_expr(&mut self) -> SqlResult<Expr> {
         if self.eat_symbol("-") {
-            let inner = self.unary_expr()?;
+            let inner = self.with_depth(|p| p.unary_expr())?;
             // Fold negative literals.
             return Ok(match inner {
                 Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
@@ -661,7 +687,7 @@ impl Parser {
             });
         }
         if self.eat_symbol("+") {
-            return self.unary_expr();
+            return self.with_depth(|p| p.unary_expr());
         }
         self.cast_expr()
     }

@@ -196,20 +196,26 @@ impl Reader<'_> {
         self.pos += n;
         Ok(s)
     }
+    fn take_arr<const N: usize>(&mut self) -> TemporalResult<[u8; N]> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
     fn u8(&mut self) -> TemporalResult<u8> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> TemporalResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
     fn i32(&mut self) -> TemporalResult<i32> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(i32::from_le_bytes(self.take_arr()?))
     }
     fn i64(&mut self) -> TemporalResult<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_arr()?))
     }
     fn f64(&mut self) -> TemporalResult<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_arr()?))
     }
 }
 

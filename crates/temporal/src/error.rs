@@ -14,6 +14,12 @@ pub enum TemporalError {
     Unsupported(String),
     /// A geometry error bubbled up from the geo kernel.
     Geo(mduck_geo::GeoError),
+    /// Timestamp/interval arithmetic overflowed.
+    Overflow(String),
+    /// An index or argument fell outside its valid range.
+    OutOfRange(String),
+    /// A size/cardinality budget was exceeded while evaluating.
+    ResourceExhausted(String),
 }
 
 impl fmt::Display for TemporalError {
@@ -23,6 +29,9 @@ impl fmt::Display for TemporalError {
             TemporalError::Invalid(m) => write!(f, "invalid argument: {m}"),
             TemporalError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
             TemporalError::Geo(e) => write!(f, "geometry error: {e}"),
+            TemporalError::Overflow(m) => write!(f, "overflow: {m}"),
+            TemporalError::OutOfRange(m) => write!(f, "out of range: {m}"),
+            TemporalError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
         }
     }
 }

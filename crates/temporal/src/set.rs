@@ -276,7 +276,9 @@ pub fn parse_geomset(s: &str) -> TemporalResult<GeomSet> {
 }
 
 pub(crate) fn split_srid_prefix(s: &str) -> (&str, Option<i32>) {
-    if s.len() > 5 && s[..5].eq_ignore_ascii_case("srid=") {
+    // Checked slice: byte 5 of arbitrary input may fall inside a
+    // multi-byte character, where `s[..5]` would panic.
+    if s.get(..5).is_some_and(|p| p.eq_ignore_ascii_case("srid=")) {
         if let Some(semi) = s.find(';') {
             if let Ok(v) = s[5..semi].trim().parse::<i32>() {
                 return (s[semi + 1..].trim_start(), Some(v));

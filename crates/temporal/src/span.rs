@@ -72,7 +72,10 @@ impl SpanValue for f64 {
     const DISCRETE: bool = false;
 
     fn cmp_v(&self, other: &Self) -> Ordering {
-        self.partial_cmp(other).expect("NaN in span")
+        // total_cmp so a NaN produced by downstream arithmetic orders
+        // deterministically instead of panicking; parse_value rejects
+        // NaN at the input boundary.
+        self.total_cmp(other)
     }
     fn succ(self) -> Self {
         self
@@ -93,9 +96,14 @@ impl SpanValue for f64 {
         v
     }
     fn parse_value(s: &str) -> TemporalResult<Self> {
-        s.trim()
+        let v: f64 = s
+            .trim()
             .parse()
-            .map_err(|_| TemporalError::Parse(format!("invalid float {s:?}")))
+            .map_err(|_| TemporalError::Parse(format!("invalid float {s:?}")))?;
+        if v.is_nan() {
+            return Err(TemporalError::Parse("NaN is not a valid span value".into()));
+        }
+        Ok(v)
     }
     fn write_value(&self, out: &mut String) {
         out.push_str(&mduck_geo::wkt::fmt_coord(*self, None));

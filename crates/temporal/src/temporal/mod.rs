@@ -102,9 +102,14 @@ impl TValue for f64 {
         a + (b - a) * frac
     }
     fn parse_tvalue(s: &str) -> TemporalResult<Self> {
-        s.trim()
+        let v: f64 = s
+            .trim()
             .parse()
-            .map_err(|_| TemporalError::Parse(format!("invalid float {s:?}")))
+            .map_err(|_| TemporalError::Parse(format!("invalid float {s:?}")))?;
+        if v.is_nan() {
+            return Err(TemporalError::Parse("NaN is not a valid temporal value".into()));
+        }
+        Ok(v)
     }
     fn write_tvalue(&self, out: &mut String) {
         out.push_str(&mduck_geo::wkt::fmt_coord(*self, None));

@@ -258,7 +258,9 @@ pub fn parse_timestamp(s: &str) -> TemporalResult<TimestampTz> {
                 if fs.is_empty() || fs.len() > 6 {
                     return Err(bad());
                 }
-                frac = fs.parse::<i64>().unwrap() * 10i64.pow(6 - fs.len() as u32);
+                // fs is 1..=6 ASCII digits (checked above), so this
+                // cannot overflow; map_err keeps the path unwrap-free.
+                frac = fs.parse::<i64>().map_err(|_| bad())? * 10i64.pow(6 - fs.len() as u32);
             }
         }
         if h > 23 || mi > 59 || sec > 60 {

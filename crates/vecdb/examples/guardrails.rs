@@ -1,0 +1,56 @@
+//! Demonstrates the robustness surface: typed errors for hostile input,
+//! per-query execution limits, and cross-thread cancellation.
+//!
+//! Run: `cargo run --release -p quackdb --example guardrails`
+
+use quackdb::{Database, ExecGuard, ExecLimits};
+use std::time::Duration;
+
+fn show(db: &Database, sql: &str) {
+    match db.execute(sql) {
+        Ok(r) => println!("  OK   {sql:60} -> {} rows", r.rows.len()),
+        Err(e) => println!("  ERR  {sql:60} -> {e}"),
+    }
+}
+
+fn main() {
+    let db = Database::new();
+
+    println!("hostile inputs produce typed errors, never panics:");
+    show(&db, "SELECT 1 / 0");
+    show(&db, "SELECT 9223372036854775807 + 1");
+    show(&db, "SELECT (-9223372036854775807 - 1) / -1");
+    show(&db, "SELECT 'abc");
+    show(&db, "CREAT\u{30C8}E INDE");
+    show(&db, &format!("SELECT {}1{}", "(".repeat(200), ")".repeat(200)));
+
+    println!("\nrow budget stops a runaway cross join:");
+    db.execute("CREATE TABLE a(x BIGINT)").expect("create");
+    db.execute("INSERT INTO a SELECT * FROM generate_series(1, 1000)").expect("fill");
+    db.set_exec_limits(ExecLimits {
+        row_budget: Some(100_000),
+        ..ExecLimits::default()
+    });
+    show(&db, "SELECT count(*) FROM a, a a2, a a3");
+    show(&db, "SELECT count(*) FROM a");
+
+    println!("\ntimeout:");
+    db.set_exec_limits(ExecLimits {
+        timeout: Some(Duration::from_millis(50)),
+        ..ExecLimits::default()
+    });
+    show(&db, "SELECT count(*) FROM a, a a2, a a3");
+
+    println!("\ncross-thread cancellation:");
+    db.set_exec_limits(ExecLimits::default());
+    let guard = ExecGuard::new(&db.exec_limits());
+    let cancel = guard.cancel_handle();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        cancel.cancel();
+    });
+    match db.execute_with_guard("SELECT count(*) FROM a, a a2, a a3", &guard) {
+        Ok(r) => println!("  OK   -> {} rows", r.rows.len()),
+        Err(e) => println!("  ERR  -> {e}"),
+    }
+}

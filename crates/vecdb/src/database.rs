@@ -2,12 +2,13 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use mduck_sync::RwLock;
 
 use mduck_sql::ast::{InsertSource, Statement};
 use mduck_sql::eval::{eval, OuterStack};
 use mduck_sql::{
-    parse_statement, Binder, Catalog, LogicalType, Registry, Schema, SqlError, SqlResult, Value,
+    parse_statement, Binder, Catalog, ExecGuard, ExecLimits, LogicalType, Registry, Schema,
+    SqlError, SqlResult, Value,
 };
 
 use crate::catalog::{DbCatalog, Table};
@@ -91,6 +92,7 @@ pub struct Database {
     pub catalog: DbCatalog,
     registry: Arc<RwLock<Registry>>,
     index_types: Arc<RwLock<IndexTypeRegistry>>,
+    limits: RwLock<ExecLimits>,
 }
 
 impl Default for Database {
@@ -106,20 +108,31 @@ impl Database {
             catalog: DbCatalog::default(),
             registry: Arc::new(RwLock::new(Registry::with_builtins())),
             index_types: Arc::new(RwLock::new(IndexTypeRegistry::default())),
+            limits: RwLock::new(ExecLimits::default()),
         }
     }
 
+    /// Set the resource limits applied to every subsequent statement.
+    pub fn set_exec_limits(&self, limits: ExecLimits) {
+        *self.limits.write() = limits;
+    }
+
+    /// The resource limits currently in force.
+    pub fn exec_limits(&self) -> ExecLimits {
+        self.limits.read().clone()
+    }
+
     /// Mutate the function/type/cast registry (extension load hook).
-    pub fn registry_mut(&self) -> parking_lot::RwLockWriteGuard<'_, Registry> {
+    pub fn registry_mut(&self) -> mduck_sync::RwLockWriteGuard<'_, Registry> {
         self.registry.write()
     }
 
-    pub fn registry(&self) -> parking_lot::RwLockReadGuard<'_, Registry> {
+    pub fn registry(&self) -> mduck_sync::RwLockReadGuard<'_, Registry> {
         self.registry.read()
     }
 
     /// Mutate the index-type registry (extension load hook).
-    pub fn index_types_mut(&self) -> parking_lot::RwLockWriteGuard<'_, IndexTypeRegistry> {
+    pub fn index_types_mut(&self) -> mduck_sync::RwLockWriteGuard<'_, IndexTypeRegistry> {
         self.index_types.write()
     }
 
@@ -164,6 +177,14 @@ impl Database {
         self.execute_statement(&stmt)
     }
 
+    /// Execute one SQL statement under a caller-supplied guard, so the
+    /// caller can keep the [`mduck_sql::CancelHandle`] (to cancel from
+    /// another thread) or spend one budget across several statements.
+    pub fn execute_with_guard(&self, sql: &str, guard: &ExecGuard) -> SqlResult<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement_guarded(&stmt, guard)
+    }
+
     /// Execute a `;`-separated script, returning the last result.
     pub fn execute_script(&self, sql: &str) -> SqlResult<QueryResult> {
         let stmts = mduck_sql::parse_script(sql)?;
@@ -174,14 +195,32 @@ impl Database {
         Ok(last)
     }
 
-    /// Execute a parsed statement.
+    /// Execute a parsed statement under the database's configured limits.
     pub fn execute_statement(&self, stmt: &Statement) -> SqlResult<QueryResult> {
+        let guard = ExecGuard::new(&self.limits.read());
+        self.execute_statement_guarded(stmt, &guard)
+    }
+
+    /// Execute a parsed statement under a caller-supplied guard.
+    ///
+    /// This is the engine's no-panic boundary: any panic that escapes the
+    /// executor (a bug, by contract) is caught here and surfaced as
+    /// [`SqlError::Internal`] instead of unwinding into the host process.
+    pub fn execute_statement_guarded(
+        &self,
+        stmt: &Statement,
+        guard: &ExecGuard,
+    ) -> SqlResult<QueryResult> {
+        catch_panics(|| self.run_statement(stmt, guard))
+    }
+
+    fn run_statement(&self, stmt: &Statement, guard: &ExecGuard) -> SqlResult<QueryResult> {
         match stmt {
             Statement::Select(sel) => {
                 let registry = self.registry.read();
                 let mut binder = Binder::new(&self.catalog, &registry);
                 let plan = binder.bind_select(sel)?;
-                let ctx = EngineCtx::new(&self.catalog, &registry);
+                let ctx = EngineCtx::new(&self.catalog, &registry, guard);
                 let rows = execute_select(&ctx, &plan, &OuterStack::EMPTY)?;
                 Ok(QueryResult { schema: plan.output_schema, rows })
             }
@@ -192,7 +231,7 @@ impl Database {
                 let registry = self.registry.read();
                 let mut binder = Binder::new(&self.catalog, &registry);
                 let plan = binder.bind_select(sel)?;
-                let ctx = EngineCtx::new(&self.catalog, &registry);
+                let ctx = EngineCtx::new(&self.catalog, &registry, guard);
                 let (tree, remaining) = plan_joins(&ctx, &plan)?;
                 let text = render_plan(&plan, &tree, &remaining);
                 Ok(QueryResult {
@@ -222,7 +261,7 @@ impl Database {
                 Ok(QueryResult::empty())
             }
             Statement::Insert { table, columns, source } => {
-                let n = self.insert(table, columns.as_deref(), source)?;
+                let n = self.insert(table, columns.as_deref(), source, guard)?;
                 Ok(QueryResult {
                     schema: Schema::new(vec![mduck_sql::Field {
                         name: "count".into(),
@@ -233,7 +272,7 @@ impl Database {
                 })
             }
             Statement::Update { table, sets, where_clause } => {
-                let n = self.update(table, sets, where_clause.as_ref())?;
+                let n = self.update(table, sets, where_clause.as_ref(), guard)?;
                 Ok(QueryResult {
                     schema: Schema::new(vec![mduck_sql::Field {
                         name: "count".into(),
@@ -244,7 +283,7 @@ impl Database {
                 })
             }
             Statement::Delete { table, where_clause } => {
-                let n = self.delete(table, where_clause.as_ref())?;
+                let n = self.delete(table, where_clause.as_ref(), guard)?;
                 Ok(QueryResult {
                     schema: Schema::new(vec![mduck_sql::Field {
                         name: "count".into(),
@@ -292,6 +331,7 @@ impl Database {
         table: &str,
         columns: Option<&[String]>,
         source: &InsertSource,
+        guard: &ExecGuard,
     ) -> SqlResult<usize> {
         let registry = self.registry.read();
         // Compute the incoming rows first (they may SELECT from the target).
@@ -317,10 +357,11 @@ impl Database {
             InsertSource::Select(sel) => {
                 let mut binder = Binder::new(&self.catalog, &registry);
                 let plan = binder.bind_select(sel)?;
-                let ctx = EngineCtx::new(&self.catalog, &registry);
+                let ctx = EngineCtx::new(&self.catalog, &registry, guard);
                 execute_select(&ctx, &plan, &OuterStack::EMPTY)?
             }
         };
+        guard.check_rows(incoming.len())?;
         let t = self.catalog.get(table)?;
         let mut t = t.write();
         let rows = reorder_for_insert(&t, columns, incoming)?;
@@ -335,6 +376,7 @@ impl Database {
         table: &str,
         sets: &[(String, mduck_sql::Expr)],
         where_clause: Option<&mduck_sql::Expr>,
+        guard: &ExecGuard,
     ) -> SqlResult<usize> {
         let registry = self.registry.read();
         let t_arc = self.catalog.get(table)?;
@@ -377,6 +419,7 @@ impl Database {
         // quadratic).
         let mut replacements: Vec<Vec<(usize, Value)>> = vec![Vec::new(); bound_sets.len()];
         for i in 0..n_rows {
+            guard.check_rows(1)?;
             let row = t.row(i);
             if let Some(w) = &bound_where {
                 if !matches!(eval(w, &row, &OuterStack::EMPTY, &no_sub)?, Value::Bool(true)) {
@@ -401,7 +444,12 @@ impl Database {
         Ok(updated)
     }
 
-    fn delete(&self, table: &str, where_clause: Option<&mduck_sql::Expr>) -> SqlResult<usize> {
+    fn delete(
+        &self,
+        table: &str,
+        where_clause: Option<&mduck_sql::Expr>,
+        guard: &ExecGuard,
+    ) -> SqlResult<usize> {
         let registry = self.registry.read();
         let schema_cols = self
             .catalog
@@ -428,6 +476,7 @@ impl Database {
         let mut keep: Vec<usize> = Vec::new();
         let n_rows = t.row_count();
         for i in 0..n_rows {
+            guard.check_rows(1)?;
             let row = t.row(i);
             let delete = match &bound_where {
                 Some(w) => {
@@ -446,6 +495,26 @@ impl Database {
             rebuild_indexes_for_columns(&mut t, &all_cols, &self.index_types.read())?;
         }
         Ok(deleted)
+    }
+}
+
+/// The no-panic backstop: a panic escaping the executor is a bug by
+/// contract, but it must degrade to an error, not unwind into (and
+/// possibly abort) the host process. The interior locks recover from
+/// poisoning (see `mduck-sync`), so catching here leaves the database
+/// usable. Stack overflows and `abort()` are not unwinds and cannot be
+/// caught — the parser's depth limit prevents the former up front.
+fn catch_panics<T>(f: impl FnOnce() -> SqlResult<T>) -> SqlResult<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(SqlError::internal(format!("executor panicked: {msg}")))
+        }
     }
 }
 
@@ -475,12 +544,12 @@ fn coerce_rows(
 }
 
 /// Case-insensitive keyword-prefix stripper for utility statements.
+/// Checked slicing: `kw.len()` may fall inside a multi-byte character of
+/// arbitrary input, where `&s[..n]` would panic.
 fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
-    if s.len() > kw.len()
-        && s[..kw.len()].eq_ignore_ascii_case(kw)
-        && s.as_bytes()[kw.len()].is_ascii_whitespace()
-    {
-        Some(&s[kw.len() + 1..])
+    let prefix = s.get(..kw.len())?;
+    if prefix.eq_ignore_ascii_case(kw) && s.as_bytes().get(kw.len())?.is_ascii_whitespace() {
+        s.get(kw.len() + 1..)
     } else {
         None
     }

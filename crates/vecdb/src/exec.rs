@@ -13,8 +13,8 @@ use std::sync::Arc;
 use mduck_sql::ast::BinaryOp;
 use mduck_sql::eval::{eval, OuterStack, SubqueryExec};
 use mduck_sql::{
-    split_conjuncts, BoundExpr, BoundFrom, BoundSelect, LogicalType, Registry, SortKey,
-    SqlError, SqlResult, Value,
+    split_conjuncts, BoundExpr, BoundFrom, BoundSelect, ExecGuard, LogicalType, Registry,
+    SortKey, SqlError, SqlResult, Value,
 };
 
 use crate::catalog::DbCatalog;
@@ -25,6 +25,9 @@ use crate::expr::{eval_vector, filter_chunk};
 pub struct EngineCtx<'a> {
     pub catalog: &'a DbCatalog,
     pub registry: &'a Registry,
+    /// Per-statement resource guard: cancellation, deadline, row budget.
+    /// Charged at chunk boundaries throughout the executor.
+    pub guard: &'a ExecGuard,
     /// Materialized CTEs by global index.
     pub ctes: RefCell<HashMap<usize, Arc<Chunks>>>,
     /// Statistics: rows read by scans (EXPLAIN ANALYZE-style diagnostics).
@@ -34,10 +37,11 @@ pub struct EngineCtx<'a> {
 }
 
 impl<'a> EngineCtx<'a> {
-    pub fn new(catalog: &'a DbCatalog, registry: &'a Registry) -> Self {
+    pub fn new(catalog: &'a DbCatalog, registry: &'a Registry, guard: &'a ExecGuard) -> Self {
         EngineCtx {
             catalog,
             registry,
+            guard,
             ctes: RefCell::new(HashMap::new()),
             rows_scanned: RefCell::new(0),
             used_index_scan: RefCell::new(false),
@@ -51,7 +55,12 @@ struct PlanExecutor<'a, 'b> {
 
 impl SubqueryExec for PlanExecutor<'_, '_> {
     fn execute(&self, plan: &BoundSelect, outer: &OuterStack<'_>) -> SqlResult<Vec<Vec<Value>>> {
-        execute_select(self.ctx, plan, outer)
+        // Correlated subqueries re-enter the executor once per outer row;
+        // the guard bounds both the depth and (via tick) the wall clock.
+        self.ctx.guard.enter_subquery()?;
+        let r = execute_select(self.ctx, plan, outer);
+        self.ctx.guard.exit_subquery();
+        r
     }
 }
 
@@ -335,6 +344,7 @@ pub fn execute_op(
         PhysOp::SeqScan { table } => {
             let t = ctx.catalog.get(table)?;
             let t = t.read();
+            ctx.guard.check_rows(t.row_count())?;
             *ctx.rows_scanned.borrow_mut() += t.row_count();
             Ok(t.scan_chunks())
         }
@@ -351,14 +361,16 @@ pub fn execute_op(
             match hit {
                 Some(mut rows) => {
                     rows.sort_unstable();
+                    ctx.guard.check_rows(rows.len())?;
                     *ctx.rows_scanned.borrow_mut() += rows.len();
                     Ok(t.gather_rows(&rows))
                 }
                 None => {
                     // Index declined: sequential scan + original filter.
+                    ctx.guard.check_rows(t.row_count())?;
                     *ctx.rows_scanned.borrow_mut() += t.row_count();
                     let chunks = t.scan_chunks();
-                    filter_chunks(chunks, fallback, outer, &exec)
+                    filter_chunks(ctx, chunks, fallback, outer, &exec)
                 }
             }
         }
@@ -377,7 +389,10 @@ pub fn execute_op(
             let vals: SqlResult<Vec<Value>> =
                 args.iter().map(|a| eval(a, &[], outer, &exec)).collect();
             let vals = vals?;
-            let start = vals[0].as_int()?;
+            let Some(first) = vals.first() else {
+                return Err(SqlError::execution("generate_series requires arguments"));
+            };
+            let start = first.as_int()?;
             let stop = if vals.len() > 1 { vals[1].as_int()? } else { start };
             let step = if vals.len() > 2 { vals[2].as_int()? } else { 1 };
             if step == 0 {
@@ -386,37 +401,48 @@ pub fn execute_op(
             let mut out = Chunks::default();
             let mut chunk = DataChunk::new(&[LogicalType::Int]);
             let mut v = start;
-            while (step > 0 && v <= stop) || (step < 0 && v >= stop) {
+            loop {
+                let more = (step > 0 && v <= stop) || (step < 0 && v >= stop);
+                if !more {
+                    break;
+                }
                 chunk.push_row(&[Value::Int(v)])?;
                 if chunk.len >= VECTOR_SIZE {
+                    ctx.guard.check_rows(chunk.len)?;
                     out.chunks
                         .push(std::mem::replace(&mut chunk, DataChunk::new(&[LogicalType::Int])));
                 }
-                v += step;
+                // `stop` may be i64::MAX; stepping past it must not overflow.
+                v = match v.checked_add(step) {
+                    Some(next) => next,
+                    None => break,
+                };
             }
             if chunk.len > 0 {
+                ctx.guard.check_rows(chunk.len)?;
                 out.chunks.push(chunk);
             }
             Ok(out)
         }
         PhysOp::Filter { pred, child } => {
             let input = execute_op(ctx, child, outer)?;
-            filter_chunks(input, pred, outer, &exec)
+            filter_chunks(ctx, input, pred, outer, &exec)
         }
         PhysOp::CrossJoin { left, right } => {
             let l = execute_op(ctx, left, outer)?;
             let r = execute_op(ctx, right, outer)?;
-            cross_join(&l, &r)
+            cross_join(ctx, &l, &r)
         }
         PhysOp::HashJoin { left, right, left_keys, right_keys } => {
             let l = execute_op(ctx, left, outer)?;
             let r = execute_op(ctx, right, outer)?;
-            hash_join(&l, &r, left_keys, right_keys, outer, &exec)
+            hash_join(ctx, &l, &r, left_keys, right_keys, outer, &exec)
         }
     }
 }
 
 fn filter_chunks(
+    ctx: &EngineCtx<'_>,
     input: Chunks,
     pred: &BoundExpr,
     outer: &OuterStack<'_>,
@@ -424,6 +450,7 @@ fn filter_chunks(
 ) -> SqlResult<Chunks> {
     let mut out = Chunks::default();
     for chunk in &input.chunks {
+        ctx.guard.tick()?;
         let sel = filter_chunk(pred, chunk, outer, exec)?;
         if sel.len() == chunk.len {
             out.chunks.push(chunk.clone());
@@ -453,12 +480,14 @@ fn chunk_types(chunks: &Chunks) -> Vec<LogicalType> {
         .unwrap_or_default()
 }
 
-fn cross_join(l: &Chunks, r: &Chunks) -> SqlResult<Chunks> {
+fn cross_join(ctx: &EngineCtx<'_>, l: &Chunks, r: &Chunks) -> SqlResult<Chunks> {
     let rtypes = chunk_types(r);
     let rflat = flatten(r, rtypes);
     let mut out = Chunks::default();
     for lchunk in &l.chunks {
-        // For each left row, repeat it against every right row.
+        // For each left row, repeat it against every right row. The guard
+        // is charged per output chunk: a runaway product trips the row
+        // budget long before memory does.
         let mut lsel = Vec::new();
         let mut rsel = Vec::new();
         for li in 0..lchunk.len {
@@ -466,6 +495,7 @@ fn cross_join(l: &Chunks, r: &Chunks) -> SqlResult<Chunks> {
                 lsel.push(li);
                 rsel.push(ri);
                 if lsel.len() >= VECTOR_SIZE {
+                    ctx.guard.check_rows(lsel.len())?;
                     out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
                     lsel.clear();
                     rsel.clear();
@@ -473,6 +503,7 @@ fn cross_join(l: &Chunks, r: &Chunks) -> SqlResult<Chunks> {
             }
         }
         if !lsel.is_empty() {
+            ctx.guard.check_rows(lsel.len())?;
             out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
         }
     }
@@ -491,6 +522,7 @@ fn combine(l: &DataChunk, lsel: &[usize], r: &DataChunk, rsel: &[usize]) -> Data
 }
 
 fn hash_join(
+    ctx: &EngineCtx<'_>,
     l: &Chunks,
     r: &Chunks,
     left_keys: &[BoundExpr],
@@ -557,6 +589,7 @@ fn hash_join(
                     lsel.push(i);
                     rsel.push(ri);
                     if lsel.len() >= VECTOR_SIZE {
+                        ctx.guard.check_rows(lsel.len())?;
                         out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
                         lsel.clear();
                         rsel.clear();
@@ -565,6 +598,7 @@ fn hash_join(
             }
         }
         if !lsel.is_empty() {
+            ctx.guard.check_rows(lsel.len())?;
             out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
         }
     }
@@ -597,7 +631,7 @@ pub fn execute_select(
         let (tree, remaining) = plan_joins(ctx, plan)?;
         let mut chunks = execute_op(ctx, &tree, outer)?;
         for pred in remaining {
-            chunks = filter_chunks(chunks, &pred, outer, &exec)?;
+            chunks = filter_chunks(ctx, chunks, &pred, outer, &exec)?;
         }
         chunks
     };
@@ -618,6 +652,7 @@ pub fn execute_select(
         .any(|o| matches!(o.key, SortKey::Input(_)));
     if env_is_input {
         for chunk in &input.chunks {
+            ctx.guard.check_rows(chunk.len)?;
             // Vectorized projection straight off the input chunks.
             let proj_cols: SqlResult<Vec<ColumnData>> = plan
                 .projections
@@ -771,6 +806,7 @@ fn aggregate(
     };
 
     for chunk in &input.chunks {
+        ctx.guard.check_rows(chunk.len)?;
         // Vectorized evaluation of group keys and aggregate arguments.
         let key_cols: SqlResult<Vec<ColumnData>> = plan
             .group_by

@@ -156,26 +156,36 @@ fn arith_columns(
     let mut out = ColumnData::new(ty);
     match (&l.payload, &r.payload, ty) {
         (Payload::Int(a), Payload::Int(b), LogicalType::Int) => {
+            let overflow = |what: &str, x: i64, y: i64| {
+                SqlError::overflow(format!("bigint {what} of {x} and {y} out of range"))
+            };
             for i in 0..len {
                 if !l.validity[i] || !r.validity[i] {
                     out.push_null();
                     continue;
                 }
                 let v = match op {
-                    BinaryOp::Add => a[i].wrapping_add(b[i]),
-                    BinaryOp::Sub => a[i].wrapping_sub(b[i]),
-                    BinaryOp::Mul => a[i].wrapping_mul(b[i]),
+                    BinaryOp::Add => a[i]
+                        .checked_add(b[i])
+                        .ok_or_else(|| overflow("addition", a[i], b[i]))?,
+                    BinaryOp::Sub => a[i]
+                        .checked_sub(b[i])
+                        .ok_or_else(|| overflow("subtraction", a[i], b[i]))?,
+                    BinaryOp::Mul => a[i]
+                        .checked_mul(b[i])
+                        .ok_or_else(|| overflow("multiplication", a[i], b[i]))?,
                     BinaryOp::Div => {
                         if b[i] == 0 {
                             return Err(SqlError::execution("division by zero"));
                         }
-                        a[i] / b[i]
+                        // i64::MIN / -1 overflows.
+                        a[i].checked_div(b[i]).ok_or_else(|| overflow("division", a[i], b[i]))?
                     }
                     BinaryOp::Mod => {
                         if b[i] == 0 {
                             return Err(SqlError::execution("modulo by zero"));
                         }
-                        a[i] % b[i]
+                        a[i].checked_rem(b[i]).ok_or_else(|| overflow("modulo", a[i], b[i]))?
                     }
                     _ => return Err(SqlError::execution("bad arithmetic op")),
                 };

@@ -29,3 +29,4 @@ pub use column::{Chunks, ColumnData, DataChunk, Payload, VECTOR_SIZE};
 pub use database::{Database, QueryResult};
 pub use exec::{execute_select, EngineCtx, PhysOp};
 pub use index::{IndexType, IndexTypeRegistry, TableIndex};
+pub use mduck_sql::{CancelHandle, ExecGuard, ExecLimits};

@@ -1,0 +1,154 @@
+//! Deterministic fuzzing of the temporal-literal parsers and the binary
+//! deserializers: every input must produce `Ok` or a typed
+//! `TemporalError` — never a panic. Crashers are persisted under
+//! `tests/corpus/temporal/`.
+
+use mduck_integration::fuzz;
+use mduck_prng::{RngCore, RngExt, SeedableRng, StdRng};
+use mduck_temporal::binser;
+use mduck_temporal::temporal::{parse_tbool, parse_tfloat, parse_tgeompoint, parse_tint, parse_ttext};
+use mduck_temporal::{
+    parse_date, parse_geomset, parse_interval, parse_set, parse_span, parse_spanset, parse_stbox,
+    parse_tbox, parse_timestamp, FloatSpan, IntSpan, Set, TstzSpan, TstzSpanSet,
+};
+
+const CASES: usize = 1500;
+
+/// Valid literals across every temporal surface; mutations start here.
+const SEEDS: &[&str] = &[
+    "Point(1 2)@2025-01-01 08:00:00",
+    "[Point(0 0)@2025-01-01 08:00:00, Point(10 0)@2025-01-01 08:10:00]",
+    "(Point(0 0)@2025-01-01, Point(5 5)@2025-01-02]",
+    "{[Point(0 0)@2025-01-01, Point(1 1)@2025-01-02], [Point(9 9)@2025-02-01, Point(8 8)@2025-02-02]}",
+    "SRID=3857;[Point(0 0)@2025-01-01, Point(1 1)@2025-01-02]",
+    "Interp=Step;[1.5@2025-01-01, 2.5@2025-01-02]",
+    "{1@2025-01-01, 2@2025-01-02, 3@2025-01-03}",
+    "true@2025-01-01 00:00:00+00",
+    "\"hello @ world\"@2025-06-15 12:30:00",
+    "[1, 10)",
+    "(-2.5, 7.25]",
+    "[2025-01-01 08:00:00, 2025-01-01 09:00:00]",
+    "{[1, 3), [5, 9]}",
+    "{1, 2, 3}",
+    "{2025-01-01, 2025-06-01}",
+    "{Point(1 1), Point(2 2)}",
+    "STBOX X((1.0,2.0),(3.0,4.0))",
+    "STBOX XT(((1,2),(3,4)),[2025-01-01, 2025-01-02])",
+    "STBOX T([2025-01-01, 2025-01-02])",
+    "SRID=4326;STBOX X((0,0),(1,1))",
+    "TBOX XT([1, 5],[2025-01-01, 2025-01-02])",
+    "TBOX X([1.5, 2.5])",
+    "2025-01-01 08:00:00.123456+02",
+    "2025-12-31",
+    "1 day 2 hours 3 minutes",
+    "-5 days",
+    "@ 1 year 2 mons",
+    "[NaN, 1)",
+    "[-1e999, 1e999]",
+    "NaN@2025-01-01",
+    "1e999@2025-01-01",
+];
+
+/// Every string parser on the temporal surface; an input must never
+/// panic any of them (each sees every input — cross-surface confusion is
+/// exactly what hand-written parsers get wrong).
+fn run_all_parsers(s: &str) {
+    let _ = parse_tgeompoint(s);
+    let _ = parse_tbool(s);
+    let _ = parse_tint(s);
+    let _ = parse_tfloat(s);
+    let _ = parse_ttext(s);
+    let _ = parse_span::<i64>(s).map(|sp: IntSpan| sp);
+    let _ = parse_span::<f64>(s).map(|sp: FloatSpan| sp);
+    let _ = parse_span::<mduck_temporal::TimestampTz>(s).map(|sp: TstzSpan| sp);
+    let _ = parse_spanset::<mduck_temporal::TimestampTz>(s).map(|ss: TstzSpanSet| ss);
+    let _ = parse_spanset::<i64>(s);
+    let _ = parse_set::<i64>(s).map(|st: Set<i64>| st);
+    let _ = parse_set::<f64>(s);
+    let _ = parse_set::<mduck_temporal::TimestampTz>(s);
+    let _ = parse_geomset(s);
+    let _ = parse_stbox(s);
+    let _ = parse_tbox(s);
+    let _ = parse_timestamp(s);
+    let _ = parse_date(s);
+    let _ = parse_interval(s);
+}
+
+#[test]
+fn fuzz_temporal_literals_never_panic() {
+    let replayed = fuzz::replay_corpus("temporal", |data| {
+        let s = String::from_utf8_lossy(data).into_owned();
+        fuzz::check_no_panic("temporal", "replay", data, || run_all_parsers(&s));
+    });
+    println!("replayed {replayed} corpus inputs");
+
+    let mut rng = StdRng::seed_from_u64(0x7E4_9021);
+    for i in 0..CASES {
+        let input = if rng.random_bool(0.8) {
+            let seed = rng.choose(SEEDS).copied().unwrap_or("[1, 2)");
+            let bytes = fuzz::mutate(&mut rng, seed.as_bytes());
+            String::from_utf8_lossy(&bytes).into_owned()
+        } else {
+            // Pure noise: brackets, digits, separators.
+            let n = rng.random_range(0..64usize);
+            (0..n)
+                .map(|_| {
+                    *rng.choose(b"[](){}@,;= .-+0123456789aeNfPoint\"'TBOXSRID").unwrap_or(&b'0')
+                        as char
+                })
+                .collect()
+        };
+        let label = format!("lit-{i}");
+        fuzz::check_no_panic("temporal", &label, input.as_bytes(), || run_all_parsers(&input));
+    }
+}
+
+/// The binary deserializers see three byte streams: pure noise, truncated
+/// valid encodings, and bit-flipped valid encodings.
+#[test]
+fn fuzz_temporal_binser_never_panics() {
+    let replayed = fuzz::replay_corpus("temporal-bin", |data| {
+        fuzz::check_no_panic("temporal-bin", "replay", data, || {
+            let _ = binser::tgeompoint_from_bytes(data);
+            let _ = binser::tstzspan_from_bytes(data);
+            let _ = binser::stbox_from_bytes(data);
+        });
+    });
+    println!("replayed {replayed} corpus inputs");
+
+    let trip = parse_tgeompoint("[Point(0 0)@2025-01-01, Point(10 5)@2025-01-02]").unwrap();
+    let span = parse_span::<mduck_temporal::TimestampTz>("[2025-01-01, 2025-06-01]").unwrap();
+    let bbox = parse_stbox("STBOX XT(((0,0),(10,5)),[2025-01-01, 2025-01-02])").unwrap();
+    let valid: Vec<Vec<u8>> = vec![
+        binser::tgeompoint_to_bytes(&trip),
+        binser::tstzspan_to_bytes(&span),
+        binser::stbox_to_bytes(&bbox),
+    ];
+
+    let mut rng = StdRng::seed_from_u64(0xB1_5E7);
+    for i in 0..CASES {
+        let bytes = match rng.random_range(0..3u32) {
+            0 => {
+                let n = rng.random_range(0..200usize);
+                let mut b = vec![0u8; n];
+                rng.fill_bytes(&mut b);
+                b
+            }
+            1 => {
+                let v = rng.choose(&valid).cloned().unwrap_or_default();
+                let cut = rng.random_range(0..=v.len());
+                v[..cut].to_vec()
+            }
+            _ => {
+                let v = rng.choose(&valid).cloned().unwrap_or_default();
+                fuzz::mutate(&mut rng, &v)
+            }
+        };
+        let label = format!("bin-{i}");
+        fuzz::check_no_panic("temporal-bin", &label, &bytes, || {
+            let _ = binser::tgeompoint_from_bytes(&bytes);
+            let _ = binser::tstzspan_from_bytes(&bytes);
+            let _ = binser::stbox_from_bytes(&bytes);
+        });
+    }
+}

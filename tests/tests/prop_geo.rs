@@ -1,23 +1,35 @@
 //! Property tests over the geometry kernel: WKT/WKB/native encodings
 //! round-trip arbitrary geometries; predicates behave consistently.
+//! Driven by the in-repo deterministic PRNG.
 
 use mduck_geo::algorithms::{distance, intersects};
 use mduck_geo::point::Point;
 use mduck_geo::{gserialized, wkb, wkt, Geometry};
-use proptest::prelude::*;
+use mduck_prng::{RngExt, SeedableRng, StdRng};
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    ((-1e6..1e6f64), (-1e6..1e6f64)).prop_map(|(x, y)| Point::new(x, y))
+const CASES: usize = 256;
+
+fn gen_point(rng: &mut StdRng) -> Point {
+    Point::new(rng.random_range(-1e6..1e6f64), rng.random_range(-1e6..1e6f64))
 }
 
-fn arb_geometry() -> impl Strategy<Value = Geometry> {
-    prop_oneof![
-        arb_point().prop_map(Geometry::from_point),
-        proptest::collection::vec(arb_point(), 2..12)
-            .prop_map(|ps| Geometry::linestring(ps).unwrap()),
-        proptest::collection::vec(arb_point(), 1..8).prop_map(Geometry::multipoint),
-        // Axis-aligned rectangles (always valid rings).
-        (arb_point(), 1.0..1e4f64, 1.0..1e4f64).prop_map(|(p, w, h)| {
+fn gen_geometry(rng: &mut StdRng) -> Geometry {
+    match rng.random_range(0u32..4) {
+        0 => Geometry::from_point(gen_point(rng)),
+        1 => {
+            let n = rng.random_range(2usize..12);
+            let ps: Vec<Point> = (0..n).map(|_| gen_point(rng)).collect();
+            Geometry::linestring(ps).unwrap()
+        }
+        2 => {
+            let n = rng.random_range(1usize..8);
+            Geometry::multipoint((0..n).map(|_| gen_point(rng)).collect())
+        }
+        _ => {
+            // Axis-aligned rectangles (always valid rings).
+            let p = gen_point(rng);
+            let w = rng.random_range(1.0..1e4f64);
+            let h = rng.random_range(1.0..1e4f64);
             Geometry::polygon(vec![vec![
                 p,
                 Point::new(p.x + w, p.y),
@@ -26,60 +38,83 @@ fn arb_geometry() -> impl Strategy<Value = Geometry> {
                 p,
             ]])
             .unwrap()
-        }),
-    ]
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn wkb_roundtrip(g in arb_geometry(), srid in 0i32..10_000) {
-        let g = g.with_srid(srid);
+#[test]
+fn wkb_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x9e0_0001);
+    for _ in 0..CASES {
+        let srid = rng.random_range(0i32..10_000);
+        let g = gen_geometry(&mut rng).with_srid(srid);
         let back = wkb::from_wkb(&wkb::to_wkb(&g)).unwrap();
-        prop_assert_eq!(&g, &back);
+        assert_eq!(&g, &back);
     }
+}
 
-    #[test]
-    fn native_roundtrip(g in arb_geometry(), srid in 0i32..10_000) {
-        let g = g.with_srid(srid);
+#[test]
+fn native_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x9e0_0002);
+    for _ in 0..CASES {
+        let srid = rng.random_range(0i32..10_000);
+        let g = gen_geometry(&mut rng).with_srid(srid);
         let bytes = gserialized::to_native(&g);
         let back = gserialized::from_native(&bytes).unwrap();
-        prop_assert_eq!(&g, &back);
+        assert_eq!(&g, &back);
         // The cached bbox header agrees with the computed one.
         let (s, rect) = gserialized::peek_bbox(&bytes).unwrap();
-        prop_assert_eq!(s, srid);
-        prop_assert_eq!(Some(rect), g.bounding_rect());
+        assert_eq!(s, srid);
+        assert_eq!(Some(rect), g.bounding_rect());
     }
+}
 
-    #[test]
-    fn wkt_roundtrip_preserves_structure(g in arb_geometry()) {
+#[test]
+fn wkt_roundtrip_preserves_structure() {
+    let mut rng = StdRng::seed_from_u64(0x9e0_0003);
+    for _ in 0..CASES {
+        let g = gen_geometry(&mut rng);
         let text = wkt::to_wkt(&g, None);
         let back = wkt::parse_wkt(&text).unwrap();
         // Re-printing the parse is a fixpoint.
-        prop_assert_eq!(wkt::to_wkt(&back, None), text);
-        prop_assert_eq!(back.num_points(), g.num_points());
+        assert_eq!(wkt::to_wkt(&back, None), text);
+        assert_eq!(back.num_points(), g.num_points());
     }
+}
 
-    #[test]
-    fn distance_is_symmetric_and_consistent_with_intersects(a in arb_geometry(), b in arb_geometry()) {
+#[test]
+fn distance_is_symmetric_and_consistent_with_intersects() {
+    let mut rng = StdRng::seed_from_u64(0x9e0_0004);
+    for _ in 0..CASES {
+        let a = gen_geometry(&mut rng);
+        let b = gen_geometry(&mut rng);
         let dab = distance(&a, &b);
         let dba = distance(&b, &a);
-        prop_assert!((dab - dba).abs() <= 1e-9 * dab.abs().max(1.0), "{dab} vs {dba}");
-        prop_assert!(dab >= 0.0);
+        assert!((dab - dba).abs() <= 1e-9 * dab.abs().max(1.0), "{dab} vs {dba}");
+        assert!(dab >= 0.0);
         if intersects(&a, &b) {
-            prop_assert!(dab <= 1e-9);
+            assert!(dab <= 1e-9);
         } else {
-            prop_assert!(dab > 0.0);
+            assert!(dab > 0.0);
         }
     }
+}
 
-    #[test]
-    fn distance_to_self_is_zero(a in arb_geometry()) {
-        prop_assert!(distance(&a, &a) <= 1e-9);
-        prop_assert!(intersects(&a, &a));
+#[test]
+fn distance_to_self_is_zero() {
+    let mut rng = StdRng::seed_from_u64(0x9e0_0005);
+    for _ in 0..CASES {
+        let a = gen_geometry(&mut rng);
+        assert!(distance(&a, &a) <= 1e-9);
+        assert!(intersects(&a, &a));
     }
+}
 
-    #[test]
-    fn transform_roundtrip_mercator(p in arb_point()) {
+#[test]
+fn transform_roundtrip_mercator() {
+    let mut rng = StdRng::seed_from_u64(0x9e0_0006);
+    for _ in 0..CASES {
+        let p = gen_point(&mut rng);
         // Stay in sane lat/lon bounds.
         let lon = (p.x / 1e6) * 179.0;
         let lat = (p.y / 1e6) * 80.0;
@@ -87,6 +122,6 @@ proptest! {
         let there = mduck_geo::transform::transform(&g, 3857).unwrap();
         let back = mduck_geo::transform::transform(&there, 4326).unwrap();
         let q = back.as_point().unwrap();
-        prop_assert!(q.close_to(&Point::new(lon, lat), 1e-6), "{q}");
+        assert!(q.close_to(&Point::new(lon, lat), 1e-6), "{q}");
     }
 }

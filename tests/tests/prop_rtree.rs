@@ -1,19 +1,18 @@
 //! Property tests: the R-tree answers exactly like a brute-force scan,
-//! under bulk load, incremental insertion, and removal.
+//! under bulk load, incremental insertion, and removal. Driven by the
+//! in-repo deterministic PRNG.
 
+use mduck_prng::{RngExt, SeedableRng, StdRng};
 use mduck_rtree::{RTree, Rect3};
-use proptest::prelude::*;
 
-fn arb_rect() -> impl Strategy<Value = Rect3> {
-    (
-        -1000.0..1000.0f64,
-        -1000.0..1000.0f64,
-        0.0..1000.0f64,
-        0.0..50.0f64,
-        0.0..50.0f64,
-        0.0..50.0f64,
-    )
-        .prop_map(|(x, y, t, w, h, d)| Rect3::new([x, y, t], [x + w, y + h, t + d]))
+fn gen_rect(rng: &mut StdRng) -> Rect3 {
+    let x = rng.random_range(-1000.0..1000.0f64);
+    let y = rng.random_range(-1000.0..1000.0f64);
+    let t = rng.random_range(0.0..1000.0f64);
+    let w = rng.random_range(0.0..50.0f64);
+    let h = rng.random_range(0.0..50.0f64);
+    let d = rng.random_range(0.0..50.0f64);
+    Rect3::new([x, y, t], [x + w, y + h, t + d])
 }
 
 fn brute(items: &[(Rect3, u64)], q: &Rect3) -> Vec<u64> {
@@ -26,30 +25,33 @@ fn brute(items: &[(Rect3, u64)], q: &Rect3) -> Vec<u64> {
     out
 }
 
-proptest! {
-    #[test]
-    fn bulk_load_matches_brute_force(
-        rects in proptest::collection::vec(arb_rect(), 0..300),
-        queries in proptest::collection::vec(arb_rect(), 1..10),
-    ) {
+#[test]
+fn bulk_load_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x87ee_0001);
+    for _ in 0..128 {
+        let n = rng.random_range(0usize..300);
         let items: Vec<(Rect3, u64)> =
-            rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect();
+            (0..n).map(|i| (gen_rect(&mut rng), i as u64)).collect();
         let tree = RTree::bulk_load(items.clone());
         tree.check_invariants();
-        for q in &queries {
-            let mut got = tree.search(q);
+        let nq = rng.random_range(1usize..10);
+        for _ in 0..nq {
+            let q = gen_rect(&mut rng);
+            let mut got = tree.search(&q);
             got.sort_unstable();
-            prop_assert_eq!(got, brute(&items, q));
+            assert_eq!(got, brute(&items, &q));
         }
     }
+}
 
-    #[test]
-    fn incremental_matches_brute_force(
-        rects in proptest::collection::vec(arb_rect(), 1..200),
-        q in arb_rect(),
-    ) {
+#[test]
+fn incremental_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x87ee_0002);
+    for _ in 0..128 {
+        let n = rng.random_range(1usize..200);
         let items: Vec<(Rect3, u64)> =
-            rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect();
+            (0..n).map(|i| (gen_rect(&mut rng), i as u64)).collect();
+        let q = gen_rect(&mut rng);
         let mut tree = RTree::new();
         for (r, id) in &items {
             tree.insert(*r, *id);
@@ -57,32 +59,34 @@ proptest! {
         tree.check_invariants();
         let mut got = tree.search(&q);
         got.sort_unstable();
-        prop_assert_eq!(got, brute(&items, &q));
+        assert_eq!(got, brute(&items, &q));
     }
+}
 
-    #[test]
-    fn removal_hides_entries(
-        rects in proptest::collection::vec(arb_rect(), 2..100),
-        removals in proptest::collection::vec(any::<prop::sample::Index>(), 1..20),
-    ) {
+#[test]
+fn removal_hides_entries() {
+    let mut rng = StdRng::seed_from_u64(0x87ee_0003);
+    for _ in 0..128 {
+        let n = rng.random_range(2usize..100);
         let items: Vec<(Rect3, u64)> =
-            rects.into_iter().enumerate().map(|(i, r)| (r, i as u64)).collect();
+            (0..n).map(|i| (gen_rect(&mut rng), i as u64)).collect();
         let mut tree = RTree::new();
         for (r, id) in &items {
             tree.insert(*r, *id);
         }
         let mut removed = std::collections::HashSet::new();
-        for idx in removals {
-            let (r, id) = items[idx.index(items.len())];
+        let n_removals = rng.random_range(1usize..20);
+        for _ in 0..n_removals {
+            let (r, id) = items[rng.random_range(0..items.len())];
             if removed.insert(id) {
-                prop_assert!(tree.remove(&r, id));
+                assert!(tree.remove(&r, id));
             }
         }
         let everything = Rect3::new([-2000.0, -2000.0, -1.0], [2000.0, 2000.0, 2000.0]);
         let got = tree.search(&everything);
-        prop_assert_eq!(got.len(), items.len() - removed.len());
+        assert_eq!(got.len(), items.len() - removed.len());
         for id in got {
-            prop_assert!(!removed.contains(&id));
+            assert!(!removed.contains(&id));
         }
     }
 }

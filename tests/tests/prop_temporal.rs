@@ -1,176 +1,214 @@
-//! Property-based tests over the temporal algebra's core invariants.
+//! Property-based tests over the temporal algebra's core invariants,
+//! driven by the in-repo deterministic PRNG (seeded, reproducible runs).
 
-use proptest::prelude::*;
+use mduck_prng::{RngExt, SeedableRng, StdRng};
 
 use mduck_temporal::span::{parse_span, FloatSpan, Span};
 use mduck_temporal::spanset::SpanSet;
 use mduck_temporal::temporal::{Interp, TGeomPoint, TInstant, TSequence, Temporal};
 use mduck_temporal::TimestampTz;
 
-fn arb_float_span() -> impl Strategy<Value = FloatSpan> {
-    (any::<bool>(), any::<bool>(), -1000.0..1000.0f64, 0.001..500.0f64).prop_map(
-        |(li, ui, lo, width)| Span::new(lo, lo + width, li, ui).expect("positive width"),
-    )
+const CASES: usize = 256;
+
+fn gen_float_span(rng: &mut StdRng) -> FloatSpan {
+    let li = rng.random_bool(0.5);
+    let ui = rng.random_bool(0.5);
+    let lo = rng.random_range(-1000.0..1000.0f64);
+    let width = rng.random_range(0.001..500.0f64);
+    Span::new(lo, lo + width, li, ui).expect("positive width")
 }
 
-proptest! {
-    #[test]
-    fn span_display_parse_roundtrip(s in arb_float_span()) {
+#[test]
+fn span_display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_0001);
+    for _ in 0..CASES {
+        let s = gen_float_span(&mut rng);
         let printed = s.to_string();
         let back: FloatSpan = parse_span(&printed).unwrap();
-        prop_assert_eq!(s, back);
+        assert_eq!(s, back);
     }
+}
 
-    #[test]
-    fn span_intersection_is_commutative_and_contained(a in arb_float_span(), b in arb_float_span()) {
+#[test]
+fn span_intersection_is_commutative_and_contained() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_0002);
+    for _ in 0..CASES {
+        let a = gen_float_span(&mut rng);
+        let b = gen_float_span(&mut rng);
         let ab = a.intersection(&b);
         let ba = b.intersection(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba);
         if let Some(ix) = ab {
-            prop_assert!(a.contains_span(&ix));
-            prop_assert!(b.contains_span(&ix));
-            prop_assert!(a.overlaps(&b));
+            assert!(a.contains_span(&ix));
+            assert!(b.contains_span(&ix));
+            assert!(a.overlaps(&b));
         } else {
-            prop_assert!(!a.overlaps(&b));
+            assert!(!a.overlaps(&b));
         }
     }
+}
 
-    #[test]
-    fn span_minus_never_overlaps_the_subtrahend(a in arb_float_span(), b in arb_float_span()) {
+#[test]
+fn span_minus_never_overlaps_the_subtrahend() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_0003);
+    for _ in 0..CASES {
+        let a = gen_float_span(&mut rng);
+        let b = gen_float_span(&mut rng);
         for piece in a.minus(&b) {
-            prop_assert!(!piece.overlaps(&b), "{piece} overlaps {b}");
-            prop_assert!(a.contains_span(&piece));
+            assert!(!piece.overlaps(&b), "{piece} overlaps {b}");
+            assert!(a.contains_span(&piece));
         }
     }
+}
 
-    #[test]
-    fn spanset_normalization_is_canonical(spans in proptest::collection::vec(arb_float_span(), 1..8)) {
+#[test]
+fn spanset_normalization_is_canonical() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_0004);
+    for _ in 0..CASES {
+        let n = rng.random_range(1usize..8);
+        let spans: Vec<FloatSpan> = (0..n).map(|_| gen_float_span(&mut rng)).collect();
         let ss = SpanSet::new(spans.clone()).unwrap();
         // Members are ordered and pairwise non-touching.
         for w in ss.spans().windows(2) {
-            prop_assert!(w[0].left_of(&w[1]));
-            prop_assert!(!w[0].overlaps(&w[1]));
-            prop_assert!(!w[0].adjacent(&w[1]));
+            assert!(w[0].left_of(&w[1]));
+            assert!(!w[0].overlaps(&w[1]));
+            assert!(!w[0].adjacent(&w[1]));
         }
         // Rebuilding from the normalized members is the identity.
         let again = SpanSet::new(ss.spans().to_vec()).unwrap();
-        prop_assert_eq!(&ss, &again);
+        assert_eq!(&ss, &again);
         // Every input value point stays covered.
         for s in &spans {
-            prop_assert!(ss.contains_value(s.lower) || !s.lower_inc);
+            assert!(ss.contains_value(s.lower) || !s.lower_inc);
         }
     }
+}
 
-    #[test]
-    fn spanset_union_minus_roundtrip(a in proptest::collection::vec(arb_float_span(), 1..5),
-                                     b in proptest::collection::vec(arb_float_span(), 1..5)) {
+#[test]
+fn spanset_union_minus_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_0005);
+    for _ in 0..CASES {
+        let na = rng.random_range(1usize..5);
+        let nb = rng.random_range(1usize..5);
+        let a: Vec<FloatSpan> = (0..na).map(|_| gen_float_span(&mut rng)).collect();
+        let b: Vec<FloatSpan> = (0..nb).map(|_| gen_float_span(&mut rng)).collect();
         let sa = SpanSet::new(a).unwrap();
         let sb = SpanSet::new(b).unwrap();
         let union = sa.union(&sb);
         // (a ∪ b) − b ⊆ a and never overlaps b.
         if let Some(diff) = union.minus(&sb) {
-            prop_assert!(!diff.overlaps(&sb));
+            assert!(!diff.overlaps(&sb));
             for s in diff.spans() {
-                prop_assert!(sa.overlaps_span(s));
+                assert!(sa.overlaps_span(s));
             }
         }
     }
 }
 
-fn arb_tfloat_seq() -> impl Strategy<Value = Temporal<f64>> {
-    (
-        proptest::collection::vec((-100.0..100.0f64, 1i64..100_000), 2..12),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(raw, li, ui)| {
-            let mut ts: Vec<(f64, i64)> = raw;
-            ts.sort_by_key(|(_, t)| *t);
-            ts.dedup_by_key(|(_, t)| *t);
-            let base = 1_700_000_000_000_000i64;
-            let instants: Vec<TInstant<f64>> = ts
-                .into_iter()
-                .map(|(v, dt)| TInstant::new(v, TimestampTz(base + dt * 1_000_000)))
-                .collect();
-            if instants.len() == 1 {
-                Temporal::Instant(instants.into_iter().next().unwrap())
-            } else {
-                Temporal::Sequence(TSequence::new(instants, li, ui, Interp::Linear).unwrap())
-            }
-        })
+fn gen_tfloat_seq(rng: &mut StdRng) -> Temporal<f64> {
+    let n = rng.random_range(2usize..12);
+    let mut ts: Vec<(f64, i64)> = (0..n)
+        .map(|_| (rng.random_range(-100.0..100.0f64), rng.random_range(1i64..100_000)))
+        .collect();
+    ts.sort_by_key(|(_, t)| *t);
+    ts.dedup_by_key(|(_, t)| *t);
+    let li = rng.random_bool(0.5);
+    let ui = rng.random_bool(0.5);
+    let base = 1_700_000_000_000_000i64;
+    let instants: Vec<TInstant<f64>> = ts
+        .into_iter()
+        .map(|(v, dt)| TInstant::new(v, TimestampTz(base + dt * 1_000_000)))
+        .collect();
+    if instants.len() == 1 {
+        Temporal::Instant(instants.into_iter().next().unwrap())
+    } else {
+        Temporal::Sequence(TSequence::new(instants, li, ui, Interp::Linear).unwrap())
+    }
 }
 
-proptest! {
-    #[test]
-    fn temporal_display_parse_roundtrip(t in arb_tfloat_seq()) {
+#[test]
+fn temporal_display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_0006);
+    for _ in 0..CASES {
+        let t = gen_tfloat_seq(&mut rng);
         let printed = t.to_string();
         let back = mduck_temporal::temporal::parse_tfloat(&printed).unwrap();
-        prop_assert_eq!(back.to_string(), printed);
+        assert_eq!(back.to_string(), printed);
     }
+}
 
-    #[test]
-    fn at_period_result_is_within_period(t in arb_tfloat_seq(), lo in 0i64..100_000, w in 1i64..50_000) {
+#[test]
+fn at_period_result_is_within_period() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_0007);
+    for _ in 0..CASES {
+        let t = gen_tfloat_seq(&mut rng);
+        let lo = rng.random_range(0i64..100_000);
+        let w = rng.random_range(1i64..50_000);
         let base = 1_700_000_000_000_000i64;
         let p = mduck_temporal::TstzSpan::new(
             TimestampTz(base + lo * 1_000_000),
             TimestampTz(base + (lo + w) * 1_000_000),
             true,
             true,
-        ).unwrap();
+        )
+        .unwrap();
         if let Some(r) = t.at_period(&p) {
-            prop_assert!(p.contains_span(&r.timespan()), "{} ⊄ {}", r.timespan(), p);
+            assert!(p.contains_span(&r.timespan()), "{} ⊄ {}", r.timespan(), p);
             // Values agree with the original at shared instants.
             let mid = r.start_timestamp();
             let a = r.value_at(mid);
             let b = t.value_at(mid);
             if let (Some(x), Some(y)) = (a, b) {
-                prop_assert!((x - y).abs() < 1e-9);
+                assert!((x - y).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn minus_then_at_covers_everything(t in arb_tfloat_seq(), lo in 0i64..100_000, w in 1i64..50_000) {
+#[test]
+fn minus_then_at_covers_everything() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_0008);
+    for _ in 0..CASES {
+        let t = gen_tfloat_seq(&mut rng);
+        let lo = rng.random_range(0i64..100_000);
+        let w = rng.random_range(1i64..50_000);
         let base = 1_700_000_000_000_000i64;
         let p = mduck_temporal::TstzSpan::new(
             TimestampTz(base + lo * 1_000_000),
             TimestampTz(base + (lo + w) * 1_000_000),
             true,
             true,
-        ).unwrap();
+        )
+        .unwrap();
         let inside = t.at_period(&p).map(|x| x.duration(false).approx_usecs()).unwrap_or(0);
         let outside = t.minus_period(&p).map(|x| x.duration(false).approx_usecs()).unwrap_or(0);
         let total = t.duration(false).approx_usecs();
-        prop_assert!((inside + outside - total).abs() <= 2, "{inside} + {outside} != {total}");
+        assert!((inside + outside - total).abs() <= 2, "{inside} + {outside} != {total}");
     }
 }
 
-fn arb_trip(seed_range: std::ops::Range<i64>) -> impl Strategy<Value = TGeomPoint> {
-    proptest::collection::vec(
-        ((-500.0..500.0f64), (-500.0..500.0f64)),
-        2..10,
-    )
-    .prop_flat_map(move |pts| {
-        (Just(pts), seed_range.clone().prop_map(|s| s))
-    })
-    .prop_map(|(pts, start)| {
-        let base = 1_700_000_000_000_000i64 + start * 1_000_000;
-        let instants: Vec<(mduck_geo::Point, TimestampTz)> = pts
-            .into_iter()
-            .enumerate()
-            .map(|(i, (x, y))| {
-                (mduck_geo::Point::new(x, y), TimestampTz(base + i as i64 * 60_000_000))
-            })
-            .collect();
-        TGeomPoint::linear_seq(instants, 0).unwrap()
-    })
+fn gen_trip(rng: &mut StdRng, start_range: std::ops::Range<i64>) -> TGeomPoint {
+    let n = rng.random_range(2usize..10);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(-500.0..500.0f64), rng.random_range(-500.0..500.0f64)))
+        .collect();
+    let start = rng.random_range(start_range);
+    let base = 1_700_000_000_000_000i64 + start * 1_000_000;
+    let instants: Vec<(mduck_geo::Point, TimestampTz)> = pts
+        .into_iter()
+        .enumerate()
+        .map(|(i, (x, y))| (mduck_geo::Point::new(x, y), TimestampTz(base + i as i64 * 60_000_000)))
+        .collect();
+    TGeomPoint::linear_seq(instants, 0).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tdwithin_agrees_with_sampled_distances(a in arb_trip(0..50), b in arb_trip(0..50), d in 1.0..400.0f64) {
+#[test]
+fn tdwithin_agrees_with_sampled_distances() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_0009);
+    for _ in 0..64 {
+        let a = gen_trip(&mut rng, 0..50);
+        let b = gen_trip(&mut rng, 0..50);
+        let d = rng.random_range(1.0..400.0f64);
         // Wherever tdwithin says true/false, the sampled distance agrees.
         if let Some(w) = a.tdwithin(&b, d) {
             for inst in w.instants() {
@@ -179,25 +217,29 @@ proptest! {
                 if let (Some(pa), Some(pb)) = (pa, pb) {
                     let dist = pa.distance(&pb);
                     if inst.value {
-                        prop_assert!(dist <= d + 1e-3, "claimed within but {dist} > {d}");
+                        assert!(dist <= d + 1e-3, "claimed within but {dist} > {d}");
                     }
                 }
             }
             // eDwithin consistency.
-            prop_assert_eq!(w.ever_true(), a.edwithin(&b, d));
+            assert_eq!(w.ever_true(), a.edwithin(&b, d));
         }
     }
+}
 
-    #[test]
-    fn trajectory_length_matches_instant_polyline(a in arb_trip(0..10)) {
+#[test]
+fn trajectory_length_matches_instant_polyline() {
+    let mut rng = StdRng::seed_from_u64(0x5ea_000a);
+    for _ in 0..64 {
+        let a = gen_trip(&mut rng, 0..10);
         let len = a.length();
         let traj_len = a.trajectory().length();
-        prop_assert!((len - traj_len).abs() < 1e-6);
+        assert!((len - traj_len).abs() < 1e-6);
         // The bounding box contains every instant.
         let b = a.stbox();
         let rect = b.rect.unwrap();
         for i in a.temp.instants() {
-            prop_assert!(rect.contains_point(&i.value));
+            assert!(rect.contains_point(&i.value));
         }
     }
 }
