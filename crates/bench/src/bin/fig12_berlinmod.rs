@@ -5,8 +5,16 @@
 //!
 //! Pass `--small` to run SF-0.001 only; `--runs N` to change the sample
 //! count (default 3, median reported).
+//!
+//! Besides the plain-text tables, the run emits two machine-readable
+//! reports into the working directory:
+//! - `BENCH_queries.json` — one record per (query, scale factor, engine)
+//!   with mean/p50/p95 runtimes and the result row count;
+//! - `BENCH_operators.json` — the vectorized engine's per-operator
+//!   `EXPLAIN ANALYZE` breakdown for every (query, scale factor).
 
 use berlinmod::{benchmark_queries, ScaleFactor};
+use mduck_bench::json::Json;
 use mduck_bench::{render_table, BenchEnv, Scenario};
 
 fn main() {
@@ -48,6 +56,8 @@ fn main() {
     // wins[scenario] across all (query, sf) cells.
     let mut wins = [0usize; 3];
     let mut duck_beats_both = vec![true; 18]; // indexed by query id
+    let mut query_records: Vec<Json> = Vec::new();
+    let mut operator_records: Vec<Json> = Vec::new();
 
     for &sf in sfs {
         eprintln!("preparing SF-{sf} ...");
@@ -66,12 +76,39 @@ fn main() {
             let mut cells = vec![format!("Q{id}")];
             let mut times = Vec::new();
             for (si, sc) in scenarios.iter().enumerate() {
-                let (ms, nrows) = env.run_median(*sc, sql, runs);
-                times.push(ms);
-                cells.push(format!("{ms:.2}"));
+                let stats = env.run_stats(*sc, sql, runs);
+                times.push(stats.p50_ms);
+                cells.push(format!("{:.2}", stats.p50_ms));
                 if si == 0 {
-                    cells.push(nrows.to_string());
+                    cells.push(stats.rows.to_string());
                 }
+                query_records.push(Json::Obj(vec![
+                    ("query", Json::Str(format!("Q{id}"))),
+                    ("sf", Json::Num(sf)),
+                    ("engine", Json::Str(sc.id().into())),
+                    ("mean_ms", Json::Num(stats.mean_ms)),
+                    ("p50_ms", Json::Num(stats.p50_ms)),
+                    ("p95_ms", Json::Num(stats.p95_ms)),
+                    ("rows", Json::Int(stats.rows as i64)),
+                ]));
+            }
+            match env.vdb.execute_analyzed(sql) {
+                Ok(profiled) => {
+                    for op in &profiled.operators {
+                        operator_records.push(Json::Obj(vec![
+                            ("query", Json::Str(format!("Q{id}"))),
+                            ("sf", Json::Num(sf)),
+                            ("op", Json::Str(op.op.into())),
+                            ("detail", Json::Str(op.detail.clone())),
+                            ("execs", Json::Int(op.execs as i64)),
+                            ("elapsed_ms", Json::Num(op.elapsed_ms)),
+                            ("rows_out", Json::Int(op.rows_out as i64)),
+                            ("chunks_out", Json::Int(op.chunks_out as i64)),
+                            ("rows_scanned", Json::Int(op.rows_scanned as i64)),
+                        ]));
+                    }
+                }
+                Err(e) => eprintln!("  Q{id}: operator breakdown unavailable ({e})"),
             }
             let best = times
                 .iter()
@@ -112,4 +149,14 @@ fn main() {
         "  MobilityDuck fastest in all tested SFs on {duck_sweeps}/17 queries \
          (paper reports 12/17)."
     );
+
+    for (path, records) in [
+        ("BENCH_queries.json", &query_records),
+        ("BENCH_operators.json", &operator_records),
+    ] {
+        match std::fs::write(path, Json::render_lines(records)) {
+            Ok(()) => println!("wrote {path} ({} records)", records.len()),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
 }

@@ -1,0 +1,126 @@
+//! Minimal hand-rolled JSON emitter for machine-readable bench reports.
+//!
+//! The bench crate takes no external dependencies, so this is the whole
+//! serializer: a value tree plus a renderer. Non-finite floats render as
+//! `null` (JSON has no NaN/Infinity).
+
+/// A JSON value tree. Objects preserve insertion order.
+#[derive(Debug, Clone)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Render compact single-line JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Render an array with one element per line (diff-friendly reports).
+    pub fn render_lines(rows: &[Json]) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str("  ");
+            row.write(&mut out);
+            if i + 1 < rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_escapes() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn renders_compound_values() {
+        let obj = Json::Obj(vec![
+            ("q", Json::Str("Q1".into())),
+            ("ms", Json::Num(2.25)),
+            ("tags", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(obj.render(), "{\"q\":\"Q1\",\"ms\":2.25,\"tags\":[1,2]}");
+        let lines = Json::render_lines(&[Json::Int(1), Json::Int(2)]);
+        assert_eq!(lines, "[\n  1,\n  2\n]\n");
+    }
+}

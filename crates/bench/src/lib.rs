@@ -5,6 +5,7 @@
 //! the shared scenario plumbing: engine setup, timing, and plain-text
 //! table rendering.
 
+pub mod json;
 pub mod micro;
 
 use std::time::Instant;
@@ -32,6 +33,24 @@ impl Scenario {
             Scenario::MobilityDbIndexed => "MobilityDB (idx)",
         }
     }
+
+    /// Stable machine-readable identifier (used in JSON reports).
+    pub fn id(self) -> &'static str {
+        match self {
+            Scenario::MobilityDuck => "mobilityduck",
+            Scenario::MobilityDbPlain => "mobilitydb_plain",
+            Scenario::MobilityDbIndexed => "mobilitydb_indexed",
+        }
+    }
+}
+
+/// Timing statistics over `n` samples of one query under one scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub rows: usize,
 }
 
 /// A loaded benchmark environment: both engines, all scenarios.
@@ -87,9 +106,15 @@ impl BenchEnv {
     }
 
     /// Median of `n` timed runs (after one warm-up), in milliseconds.
-    /// Setting `MDUCK_COLD=1` skips the warm-up run (used to bound the
-    /// wall time of the largest scale factors).
     pub fn run_median(&self, scenario: Scenario, sql: &str, n: usize) -> (f64, usize) {
+        let stats = self.run_stats(scenario, sql, n);
+        (stats.p50_ms, stats.rows)
+    }
+
+    /// Mean/p50/p95 over `n` timed runs (after one warm-up), in
+    /// milliseconds. Setting `MDUCK_COLD=1` skips the warm-up run (used
+    /// to bound the wall time of the largest scale factors).
+    pub fn run_stats(&self, scenario: Scenario, sql: &str, n: usize) -> RunStats {
         let cold = std::env::var("MDUCK_COLD").is_ok_and(|v| v == "1");
         let mut rows = 0;
         if !cold {
@@ -103,7 +128,13 @@ impl BenchEnv {
             })
             .collect();
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        (times[times.len() / 2], rows)
+        let mean_ms = times.iter().sum::<f64>() / times.len() as f64;
+        // Nearest-rank percentile: smallest x with at least p% of samples <= x.
+        let rank = |p: f64| -> f64 {
+            let idx = ((p * times.len() as f64).ceil() as usize).max(1) - 1;
+            times[idx.min(times.len() - 1)]
+        };
+        RunStats { mean_ms, p50_ms: times[times.len() / 2], p95_ms: rank(0.95), rows }
     }
 }
 
@@ -160,6 +191,10 @@ mod tests {
         assert_eq!(rows, 1);
         let (ms, _) = env.run_median(Scenario::MobilityDbPlain, "SELECT count(*) FROM trips", 3);
         assert!(ms >= 0.0);
+        let stats = env.run_stats(Scenario::MobilityDuck, "SELECT count(*) FROM trips", 5);
+        assert_eq!(stats.rows, 1);
+        assert!(stats.mean_ms >= 0.0);
+        assert!(stats.p95_ms >= stats.p50_ms);
     }
 
     #[test]

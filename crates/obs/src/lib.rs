@@ -1,0 +1,27 @@
+//! # mduck-obs — engine-wide observability
+//!
+//! The measurement layer every perf PR measures itself against. Two
+//! facilities, both dependency-free and cheap enough to stay always-on:
+//!
+//! * **Metrics** ([`metrics`]): a process-global registry of named
+//!   counters, gauges, and log-scale histograms. Hot paths hold a
+//!   `&'static` handle and pay one relaxed atomic add per event — no
+//!   locks, no hashing. SQL surfaces the registry through
+//!   `PRAGMA metrics` / `PRAGMA reset_metrics` in both engines.
+//!
+//! * **Spans** ([`span`]): a thread-local span stack whose finished spans
+//!   land in a bounded in-memory ring buffer, queryable from SQL via the
+//!   `mduck_spans()` table function. Query phases (parse → bind → plan →
+//!   execute) are spanned always; per-operator spans are emitted when a
+//!   statement runs under profiling (`EXPLAIN ANALYZE`).
+//!
+//! The crate deliberately knows nothing about SQL or either engine; the
+//! `mduck-sql` frontend owns the SQL-facing projection of this data.
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{metrics, Counter, Gauge, Histogram, MetricSnapshot, Metrics};
+pub use span::{
+    reset_spans, span, spans_snapshot, Span, SpanRecord, SPAN_BUFFER_CAP,
+};

@@ -1,6 +1,7 @@
 //! The row-store database instance (the PostgreSQL/MobilityDB analogue).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use mduck_sync::RwLock;
 
@@ -58,7 +59,7 @@ impl RowDatabase {
     }
 
     pub fn execute(&self, sql: &str) -> SqlResult<RowQueryResult> {
-        let stmt = parse_statement(sql)?;
+        let stmt = parse_timed(sql)?;
         self.execute_statement(&stmt)
     }
 
@@ -94,23 +95,59 @@ impl RowDatabase {
     fn run_statement(&self, stmt: &Statement) -> SqlResult<RowQueryResult> {
         match stmt {
             Statement::Select(sel) => {
+                let m = mduck_obs::metrics();
+                m.queries_executed.inc(1);
+                m.active_queries.add(1);
+                let _active = GaugeGuard;
+                let _query_span = mduck_obs::span("rowdb.query");
                 let registry = self.registry.read();
-                let mut binder = Binder::new(&self.catalog, &registry);
-                let plan = binder.bind_select(sel)?;
+                let bind_start = Instant::now();
+                let plan = {
+                    let _s = mduck_obs::span("rowdb.bind");
+                    let mut binder = Binder::new(&self.catalog, &registry);
+                    binder.bind_select(sel)?
+                };
+                m.rowdb_bind_ns.observe(bind_start.elapsed().as_nanos() as u64);
                 let ctx = RowCtx::new(&self.catalog, &registry);
-                let rows = execute_select(&ctx, &plan, &OuterStack::EMPTY)?;
+                let exec_start = Instant::now();
+                let rows = {
+                    let _s = mduck_obs::span("rowdb.exec");
+                    execute_select(&ctx, &plan, &OuterStack::EMPTY)?
+                };
+                m.rowdb_exec_ns.observe(exec_start.elapsed().as_nanos() as u64);
                 Ok(RowQueryResult { schema: plan.output_schema, rows })
             }
-            Statement::Explain(inner) => {
+            Statement::Explain { statement, analyze } => {
                 // PostgreSQL-style indented text plan.
-                let Statement::Select(sel) = inner.as_ref() else {
+                let Statement::Select(sel) = statement.as_ref() else {
                     return Err(SqlError::Bind("EXPLAIN supports SELECT".into()));
                 };
                 let registry = self.registry.read();
                 let mut binder = Binder::new(&self.catalog, &registry);
                 let plan = binder.bind_select(sel)?;
                 let ctx = RowCtx::new(&self.catalog, &registry);
-                let text = crate::exec::explain_select(&ctx, &plan)?;
+                let mut text = crate::exec::explain_select(&ctx, &plan)?;
+                if *analyze {
+                    // PostgreSQL appends execution totals below the plan.
+                    let m = mduck_obs::metrics();
+                    m.queries_executed.inc(1);
+                    let exec_start = Instant::now();
+                    let rows = {
+                        let _s = mduck_obs::span("rowdb.exec");
+                        execute_select(&ctx, &plan, &OuterStack::EMPTY)?
+                    };
+                    let elapsed = exec_start.elapsed();
+                    m.rowdb_exec_ns.observe(elapsed.as_nanos() as u64);
+                    text.push_str(&format!(
+                        "Execution Time: {:.3} ms\n",
+                        elapsed.as_secs_f64() * 1e3
+                    ));
+                    text.push_str(&format!("Rows Returned: {}\n", rows.len()));
+                    text.push_str(&format!(
+                        "Rows Scanned: {}\n",
+                        *ctx.rows_scanned.borrow()
+                    ));
+                }
                 Ok(RowQueryResult {
                     schema: Schema::new(vec![mduck_sql::Field {
                         name: "explain".into(),
@@ -120,6 +157,10 @@ impl RowDatabase {
                     rows: vec![vec![Value::text(text)]],
                 })
             }
+            Statement::Pragma { name } => match mduck_sql::introspect::pragma(name)? {
+                Some((schema, rows)) => Ok(RowQueryResult { schema, rows }),
+                None => Err(SqlError::Catalog(format!("unknown pragma {name:?}"))),
+            },
             Statement::CreateTable { name, columns, if_not_exists } => {
                 let registry = self.registry.read();
                 let mut cols = Vec::with_capacity(columns.len());
@@ -358,6 +399,14 @@ impl RowDatabase {
         Ok(before - t.rows.len())
     }
 
+    /// Execute a SELECT and return the result together with the analyzed
+    /// plan footer totals (execution time, rows returned/scanned).
+    pub fn execute_analyzed(&self, sql: &str) -> SqlResult<(RowQueryResult, f64)> {
+        let start = Instant::now();
+        let result = self.execute(sql)?;
+        Ok((result, start.elapsed().as_secs_f64() * 1e3))
+    }
+
     fn rebuild_indexes(
         &self,
         t: &mut crate::catalog::HeapTable,
@@ -385,4 +434,22 @@ impl RowDatabase {
         }
         Ok(())
     }
+}
+
+/// Decrements the active-query gauge on drop (error paths included).
+struct GaugeGuard;
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        mduck_obs::metrics().active_queries.add(-1);
+    }
+}
+
+/// Parse one statement, feeding the parse-phase latency histogram.
+fn parse_timed(sql: &str) -> SqlResult<Statement> {
+    let _s = mduck_obs::span("rowdb.parse");
+    let start = Instant::now();
+    let stmt = parse_statement(sql);
+    mduck_obs::metrics().rowdb_parse_ns.observe(start.elapsed().as_nanos() as u64);
+    stmt
 }

@@ -82,6 +82,8 @@ enum Source {
     Cte { index: usize },
     Subquery { plan: Box<BoundSelect> },
     Series { args: Vec<BoundExpr> },
+    /// `mduck_spans()`: snapshot of the tracing-span ring buffer.
+    Spans,
 }
 
 /// How the next relation joins onto the accumulated left side.
@@ -178,6 +180,7 @@ fn plan_rows(ctx: &RowCtx<'_>, plan: &BoundSelect) -> SqlResult<RowPlan> {
             BoundFrom::Cte { index, .. } => Source::Cte { index: *index },
             BoundFrom::Subquery { plan, .. } => Source::Subquery { plan: plan.clone() },
             BoundFrom::Series { args, .. } => Source::Series { args: args.clone() },
+            BoundFrom::Spans { .. } => Source::Spans,
         };
         sources.push(source);
     }
@@ -372,8 +375,15 @@ fn remap_columns(e: &BoundExpr, offset: usize) -> BoundExpr {
 /// Render a PostgreSQL-style indented text plan for EXPLAIN.
 pub fn explain_select(ctx: &RowCtx<'_>, plan: &BoundSelect) -> SqlResult<String> {
     let mut out = String::new();
-    if plan.limit.is_some() {
-        out.push_str(&format!("Limit ({} rows)\n", plan.limit.unwrap()));
+    if plan.limit.is_some() || plan.offset.is_some() {
+        let mut parts = Vec::new();
+        if let Some(l) = plan.limit {
+            parts.push(format!("{l} rows"));
+        }
+        if let Some(o) = plan.offset {
+            parts.push(format!("offset {o}"));
+        }
+        out.push_str(&format!("Limit ({})\n", parts.join(", ")));
     }
     if !plan.order_by.is_empty() {
         out.push_str("Sort\n");
@@ -432,6 +442,7 @@ fn render_source(out: &mut String, pad: &str, s: &Source) {
         Source::Cte { index } => out.push_str(&format!("{pad}CTE Scan (slot {index})\n")),
         Source::Subquery { .. } => out.push_str(&format!("{pad}Subquery Scan\n")),
         Source::Series { .. } => out.push_str(&format!("{pad}Function Scan on generate_series\n")),
+        Source::Spans => out.push_str(&format!("{pad}Function Scan on mduck_spans\n")),
     }
 }
 
@@ -473,10 +484,15 @@ fn scan_source(
                 out.push(row);
                 Ok(())
             };
+            let candidates;
             match (candidate_rows, index_probe) {
                 (Some(mut ids), Some((_, _, original))) => {
                     ids.sort_unstable();
+                    candidates = ids.len();
                     *ctx.rows_scanned.borrow_mut() += ids.len();
+                    let m = mduck_obs::metrics();
+                    m.index_probes.inc(1);
+                    m.rows_scanned.inc(ids.len() as u64);
                     for id in ids {
                         let row = detoast_row(ctx, &t.rows[id as usize])?;
                         // Re-check the indexed predicate (the index may be
@@ -488,7 +504,11 @@ fn scan_source(
                     }
                 }
                 _ => {
+                    candidates = t.rows.len();
                     *ctx.rows_scanned.borrow_mut() += t.rows.len();
+                    let m = mduck_obs::metrics();
+                    m.full_scans.inc(1);
+                    m.rows_scanned.inc(t.rows.len() as u64);
                     for stored in &t.rows {
                         let row = detoast_row(ctx, stored)?;
                         if let Some((_, _, original)) = index_probe {
@@ -503,6 +523,9 @@ fn scan_source(
                     }
                 }
             }
+            mduck_obs::metrics()
+                .rows_filtered
+                .inc(candidates.saturating_sub(out.len()) as u64);
             Ok(out)
         }
         Source::Cte { index } => {
@@ -531,6 +554,7 @@ fn scan_source(
             }
             Ok(out)
         }
+        Source::Spans => Ok(mduck_sql::introspect::span_rows()),
     }
 }
 
@@ -628,6 +652,9 @@ pub fn execute_select(
                             ));
                         };
                         *ctx.rows_scanned.borrow_mut() += ids.len();
+                        let m = mduck_obs::metrics();
+                        m.index_probes.inc(1);
+                        m.rows_scanned.inc(ids.len() as u64);
                         'cand: for id in ids {
                             let r = detoast_row(ctx, &t.rows[id as usize])?;
                             for f in filters {
@@ -646,23 +673,28 @@ pub fn execute_select(
                     out
                 }
             };
+            mduck_obs::metrics().rows_joined.inc(acc.len() as u64);
             for f in &step.post_filters {
+                let before = acc.len();
                 let mut kept = Vec::with_capacity(acc.len());
                 for row in acc {
                     if matches!(eval(f, &row, outer, &exec)?, Value::Bool(true)) {
                         kept.push(row);
                     }
                 }
+                mduck_obs::metrics().rows_filtered.inc((before - kept.len()) as u64);
                 acc = kept;
             }
         }
         for f in &rp.remaining {
+            let before = acc.len();
             let mut kept = Vec::with_capacity(acc.len());
             for row in acc {
                 if matches!(eval(f, &row, outer, &exec)?, Value::Bool(true)) {
                     kept.push(row);
                 }
             }
+            mduck_obs::metrics().rows_filtered.inc((before - kept.len()) as u64);
             acc = kept;
         }
         acc

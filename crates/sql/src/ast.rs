@@ -37,7 +37,17 @@ pub enum Statement {
         table: String,
         where_clause: Option<Expr>,
     },
-    Explain(Box<Statement>),
+    Explain {
+        statement: Box<Statement>,
+        /// `EXPLAIN ANALYZE`: execute the statement and annotate the plan
+        /// with actual per-operator timings and cardinalities.
+        analyze: bool,
+    },
+    /// `PRAGMA <name>`: engine introspection (`metrics`, `reset_metrics`,
+    /// `reset_spans`).
+    Pragma {
+        name: String,
+    },
 }
 
 /// The data source of an INSERT.

@@ -283,6 +283,19 @@ impl<'a> Binder<'a> {
             }
             TableRef::Function { name, args, alias, column_aliases } => {
                 let lname = name.to_ascii_lowercase();
+                if lname == "mduck_spans" {
+                    if !args.is_empty() {
+                        return Err(SqlError::Bind("mduck_spans takes no arguments".into()));
+                    }
+                    let alias = alias
+                        .as_ref()
+                        .map(|a| a.to_ascii_lowercase())
+                        .unwrap_or_else(|| lname.clone());
+                    let schema =
+                        Schema::new(crate::introspect::span_fields(&alias));
+                    out.push(BoundFrom::Spans { alias, schema });
+                    return Ok(());
+                }
                 if lname != "generate_series" && lname != "range" {
                     return Err(SqlError::Bind(format!("unknown table function {name:?}")));
                 }

@@ -258,6 +258,8 @@ pub enum BoundFrom {
     Subquery { plan: Box<BoundSelect>, alias: String, schema: Schema },
     /// `generate_series(start, stop[, step])`.
     Series { args: Vec<BoundExpr>, alias: String, schema: Schema },
+    /// `mduck_spans()`: snapshot of the tracing-span ring buffer.
+    Spans { alias: String, schema: Schema },
 }
 
 impl BoundFrom {
@@ -266,7 +268,8 @@ impl BoundFrom {
             BoundFrom::Table { schema, .. }
             | BoundFrom::Cte { schema, .. }
             | BoundFrom::Subquery { schema, .. }
-            | BoundFrom::Series { schema, .. } => schema,
+            | BoundFrom::Series { schema, .. }
+            | BoundFrom::Spans { schema, .. } => schema,
         }
     }
 }

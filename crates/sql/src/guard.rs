@@ -118,6 +118,7 @@ impl ExecGuard {
             let n = n as u64;
             if remaining < n {
                 self.rows_remaining.set(Some(0));
+                mduck_obs::metrics().guard_trip_row_budget.inc(1);
                 return Err(SqlError::resource_exhausted(
                     "query exceeded its row budget",
                 ));
@@ -130,6 +131,7 @@ impl ExecGuard {
     /// Poll deadline and cancellation without charging rows.
     pub fn tick(&self) -> SqlResult<()> {
         if self.cancel.is_canceled() {
+            mduck_obs::metrics().guard_trip_cancel.inc(1);
             return Err(SqlError::resource_exhausted("query canceled"));
         }
         let t = self.ticks.get().wrapping_add(1);
@@ -147,6 +149,7 @@ impl ExecGuard {
     pub fn check_deadline(&self) -> SqlResult<()> {
         if let Some(deadline) = self.deadline {
             if Instant::now() > deadline {
+                mduck_obs::metrics().guard_trip_timeout.inc(1);
                 return Err(SqlError::resource_exhausted(
                     "query exceeded its wall-clock timeout",
                 ));
@@ -160,6 +163,7 @@ impl ExecGuard {
     pub fn enter_subquery(&self) -> SqlResult<()> {
         let d = self.subquery_depth.get() + 1;
         if d > self.max_subquery_depth {
+            mduck_obs::metrics().guard_trip_depth.inc(1);
             return Err(SqlError::resource_exhausted(format!(
                 "subquery nesting exceeds {} levels",
                 self.max_subquery_depth

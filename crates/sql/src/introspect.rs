@@ -1,0 +1,136 @@
+//! SQL-surfaced introspection shared by both engines.
+//!
+//! Two surfaces, deliberately engine-agnostic so `PRAGMA metrics` returns
+//! the exact same schema from the vectorized and the row engine:
+//!
+//! * [`pragma`] — resolves `PRAGMA <name>` statements (`metrics`,
+//!   `reset_metrics`, `reset_spans`) into a `(Schema, rows)` pair, or
+//!   `None` for names this module does not know (the engine reports the
+//!   error so it can mention its own name).
+//! * [`span_fields`]/[`span_rows`] — the schema and snapshot rows of the
+//!   `mduck_spans()` table function backed by the tracing ring buffer.
+
+use crate::bound::{Field, Schema};
+use crate::error::SqlResult;
+use crate::value::{LogicalType, Value};
+
+/// Schema of `PRAGMA metrics`: one row per registered metric.
+pub fn metrics_schema() -> Schema {
+    Schema::new(vec![
+        Field { name: "name".into(), table: None, ty: LogicalType::Text },
+        Field { name: "kind".into(), table: None, ty: LogicalType::Text },
+        Field { name: "value".into(), table: None, ty: LogicalType::Int },
+        Field { name: "detail".into(), table: None, ty: LogicalType::Text },
+    ])
+}
+
+/// One row per metric in the global registry, in declaration order.
+pub fn metrics_rows() -> Vec<Vec<Value>> {
+    mduck_obs::metrics()
+        .snapshot()
+        .into_iter()
+        .map(|m| {
+            vec![
+                Value::Text(m.name.into()),
+                Value::Text(m.kind.into()),
+                Value::Int(m.value),
+                Value::Text(m.detail.into()),
+            ]
+        })
+        .collect()
+}
+
+/// Schema of the `mduck_spans()` table function, columns qualified by the
+/// binder-assigned alias.
+pub fn span_fields(alias: &str) -> Vec<Field> {
+    let table = Some(alias.to_string());
+    let f = |name: &str, ty: LogicalType| Field { name: name.into(), table: table.clone(), ty };
+    vec![
+        f("span_id", LogicalType::Int),
+        f("parent_id", LogicalType::Int),
+        f("name", LogicalType::Text),
+        f("depth", LogicalType::Int),
+        f("start_us", LogicalType::Int),
+        f("duration_us", LogicalType::Int),
+        f("thread", LogicalType::Text),
+    ]
+}
+
+/// Snapshot of the finished-span ring buffer, oldest first, shaped for
+/// [`span_fields`].
+pub fn span_rows() -> Vec<Vec<Value>> {
+    mduck_obs::spans_snapshot()
+        .into_iter()
+        .map(|s| {
+            vec![
+                Value::Int(s.id as i64),
+                s.parent.map(|p| Value::Int(p as i64)).unwrap_or(Value::Null),
+                Value::Text(s.name.into()),
+                Value::Int(s.depth as i64),
+                Value::Int(s.start_us as i64),
+                Value::Int(s.duration_us as i64),
+                Value::Text(s.thread.into()),
+            ]
+        })
+        .collect()
+}
+
+fn status_result(status: &str) -> (Schema, Vec<Vec<Value>>) {
+    let schema = Schema::new(vec![Field {
+        name: "status".into(),
+        table: None,
+        ty: LogicalType::Text,
+    }]);
+    (schema, vec![vec![Value::Text(status.into())]])
+}
+
+/// Resolve a `PRAGMA <name>` statement. Returns `None` for unknown names
+/// so the calling engine can produce its own error message.
+pub fn pragma(name: &str) -> SqlResult<Option<(Schema, Vec<Vec<Value>>)>> {
+    match name {
+        "metrics" => Ok(Some((metrics_schema(), metrics_rows()))),
+        "reset_metrics" => {
+            mduck_obs::metrics().reset();
+            Ok(Some(status_result("metrics reset")))
+        }
+        "reset_spans" => {
+            mduck_obs::reset_spans();
+            Ok(Some(status_result("spans reset")))
+        }
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_rows_match_schema() {
+        let schema = metrics_schema();
+        let rows = metrics_rows();
+        assert!(!rows.is_empty());
+        for row in &rows {
+            assert_eq!(row.len(), schema.fields.len());
+            assert!(matches!(row[0], Value::Text(_)));
+            assert!(matches!(row[2], Value::Int(_)));
+        }
+    }
+
+    #[test]
+    fn span_rows_match_fields() {
+        let _s = mduck_obs::span("introspect.test_span");
+        drop(_s);
+        let fields = span_fields("s");
+        let rows = span_rows();
+        assert!(rows.iter().all(|r| r.len() == fields.len()));
+        assert!(rows.iter().any(|r| r[2] == Value::Text("introspect.test_span".into())));
+    }
+
+    #[test]
+    fn pragma_dispatch() {
+        assert!(pragma("metrics").unwrap().is_some());
+        assert!(pragma("reset_spans").unwrap().is_some());
+        assert!(pragma("no_such_pragma").unwrap().is_none());
+    }
+}

@@ -17,6 +17,7 @@ pub mod builtins;
 pub mod error;
 pub mod eval;
 pub mod guard;
+pub mod introspect;
 pub mod lexer;
 pub mod parser;
 pub mod registry;

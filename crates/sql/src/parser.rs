@@ -148,9 +148,16 @@ impl Parser {
     fn statement(&mut self) -> SqlResult<Statement> {
         if self.peek().is_kw("explain") {
             self.pos += 1;
-            // Swallow optional ANALYZE.
-            self.eat_kw("analyze");
-            return Ok(Statement::Explain(Box::new(self.statement()?)));
+            let analyze = self.eat_kw("analyze");
+            return Ok(Statement::Explain {
+                statement: Box::new(self.statement()?),
+                analyze,
+            });
+        }
+        if self.peek().is_kw("pragma") {
+            self.pos += 1;
+            let name = self.ident()?.to_ascii_lowercase();
+            return Ok(Statement::Pragma { name });
         }
         if self.peek().is_kw("select") || self.peek().is_kw("with") {
             return Ok(Statement::Select(self.select_stmt()?));
@@ -976,9 +983,20 @@ mod tests {
     #[test]
     fn explain_and_script() {
         let st = parse_statement("EXPLAIN SELECT * FROM t").unwrap();
-        assert!(matches!(st, Statement::Explain(_)));
+        assert!(matches!(st, Statement::Explain { analyze: false, .. }));
+        let st = parse_statement("EXPLAIN ANALYZE SELECT * FROM t").unwrap();
+        assert!(matches!(st, Statement::Explain { analyze: true, .. }));
         let script = parse_script("SELECT 1; SELECT 2;").unwrap();
         assert_eq!(script.len(), 2);
+    }
+
+    #[test]
+    fn pragma_statements_parse() {
+        let st = parse_statement("PRAGMA metrics").unwrap();
+        assert_eq!(st, Statement::Pragma { name: "metrics".into() });
+        let st = parse_statement("pragma Reset_Metrics;").unwrap();
+        assert_eq!(st, Statement::Pragma { name: "reset_metrics".into() });
+        assert!(parse_statement("PRAGMA").is_err());
     }
 
     #[test]

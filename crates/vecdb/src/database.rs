@@ -1,10 +1,11 @@
 //! The embeddable database instance: the `duckdb.Connection` analogue.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use mduck_sync::RwLock;
 
-use mduck_sql::ast::{InsertSource, Statement};
+use mduck_sql::ast::{InsertSource, SelectStmt, Statement};
 use mduck_sql::eval::{eval, OuterStack};
 use mduck_sql::{
     parse_statement, Binder, Catalog, ExecGuard, ExecLimits, LogicalType, Registry, Schema,
@@ -12,8 +13,8 @@ use mduck_sql::{
 };
 
 use crate::catalog::{DbCatalog, Table};
-use crate::exec::{execute_select, plan_joins, EngineCtx};
-use crate::explain::render_plan;
+use crate::exec::{execute_select, execute_select_planned, plan_joins, plan_key, EngineCtx};
+use crate::explain::{op_breakdown, render_plan, render_plan_analyzed, AnalyzeData, OpBreakdown};
 use crate::index::IndexTypeRegistry;
 
 /// A query result: output schema plus materialized rows.
@@ -173,7 +174,7 @@ impl Database {
                 rows,
             });
         }
-        let stmt = parse_statement(sql)?;
+        let stmt = parse_timed(sql)?;
         self.execute_statement(&stmt)
     }
 
@@ -181,7 +182,7 @@ impl Database {
     /// caller can keep the [`mduck_sql::CancelHandle`] (to cancel from
     /// another thread) or spend one budget across several statements.
     pub fn execute_with_guard(&self, sql: &str, guard: &ExecGuard) -> SqlResult<QueryResult> {
-        let stmt = parse_statement(sql)?;
+        let stmt = parse_timed(sql)?;
         self.execute_statement_guarded(&stmt, guard)
     }
 
@@ -217,23 +218,61 @@ impl Database {
     fn run_statement(&self, stmt: &Statement, guard: &ExecGuard) -> SqlResult<QueryResult> {
         match stmt {
             Statement::Select(sel) => {
+                let m = mduck_obs::metrics();
+                m.queries_executed.inc(1);
+                m.active_queries.add(1);
+                let _active = GaugeGuard;
+                let _query_span = mduck_obs::span("vecdb.query");
                 let registry = self.registry.read();
-                let mut binder = Binder::new(&self.catalog, &registry);
-                let plan = binder.bind_select(sel)?;
+                let bind_start = Instant::now();
+                let plan = {
+                    let _s = mduck_obs::span("vecdb.bind");
+                    let mut binder = Binder::new(&self.catalog, &registry);
+                    binder.bind_select(sel)?
+                };
+                m.vecdb_bind_ns.observe(bind_start.elapsed().as_nanos() as u64);
                 let ctx = EngineCtx::new(&self.catalog, &registry, guard);
-                let rows = execute_select(&ctx, &plan, &OuterStack::EMPTY)?;
+                let rows = if plan.from.is_empty() {
+                    let _s = mduck_obs::span("vecdb.exec");
+                    let exec_start = Instant::now();
+                    let rows = execute_select(&ctx, &plan, &OuterStack::EMPTY)?;
+                    m.vecdb_exec_ns.observe(exec_start.elapsed().as_nanos() as u64);
+                    rows
+                } else {
+                    let plan_start = Instant::now();
+                    let (tree, remaining) = {
+                        let _s = mduck_obs::span("vecdb.plan");
+                        plan_joins(&ctx, &plan)?
+                    };
+                    m.vecdb_plan_ns.observe(plan_start.elapsed().as_nanos() as u64);
+                    let _s = mduck_obs::span("vecdb.exec");
+                    let exec_start = Instant::now();
+                    let rows = execute_select_planned(
+                        &ctx,
+                        &plan,
+                        &tree,
+                        &remaining,
+                        &OuterStack::EMPTY,
+                    )?;
+                    m.vecdb_exec_ns.observe(exec_start.elapsed().as_nanos() as u64);
+                    rows
+                };
                 Ok(QueryResult { schema: plan.output_schema, rows })
             }
-            Statement::Explain(inner) => {
-                let Statement::Select(sel) = inner.as_ref() else {
+            Statement::Explain { statement, analyze } => {
+                let Statement::Select(sel) = statement.as_ref() else {
                     return Err(SqlError::Bind("EXPLAIN supports SELECT".into()));
                 };
-                let registry = self.registry.read();
-                let mut binder = Binder::new(&self.catalog, &registry);
-                let plan = binder.bind_select(sel)?;
-                let ctx = EngineCtx::new(&self.catalog, &registry, guard);
-                let (tree, remaining) = plan_joins(&ctx, &plan)?;
-                let text = render_plan(&plan, &tree, &remaining);
+                let text = if *analyze {
+                    self.run_analyzed(sel, guard)?.explain
+                } else {
+                    let registry = self.registry.read();
+                    let mut binder = Binder::new(&self.catalog, &registry);
+                    let plan = binder.bind_select(sel)?;
+                    let ctx = EngineCtx::new(&self.catalog, &registry, guard);
+                    let (tree, remaining) = plan_joins(&ctx, &plan)?;
+                    render_plan(&plan, &tree, &remaining)
+                };
                 Ok(QueryResult {
                     schema: Schema::new(vec![mduck_sql::Field {
                         name: "explain".into(),
@@ -243,6 +282,10 @@ impl Database {
                     rows: vec![vec![Value::text(text)]],
                 })
             }
+            Statement::Pragma { name } => match mduck_sql::introspect::pragma(name)? {
+                Some((schema, rows)) => Ok(QueryResult { schema, rows }),
+                None => Err(SqlError::Catalog(format!("unknown pragma {name:?}"))),
+            },
             Statement::CreateTable { name, columns, if_not_exists } => {
                 let registry = self.registry.read();
                 let mut cols = Vec::with_capacity(columns.len());
@@ -294,6 +337,70 @@ impl Database {
                 })
             }
         }
+    }
+
+    /// Execute a SELECT with per-operator profiling enabled and return the
+    /// result alongside the analyzed plan rendering and a flattened
+    /// per-operator breakdown (the programmatic `EXPLAIN ANALYZE`).
+    pub fn execute_analyzed(&self, sql: &str) -> SqlResult<ProfiledQuery> {
+        let stmt = parse_timed(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(SqlError::Bind("execute_analyzed supports SELECT".into()));
+        };
+        let guard = ExecGuard::new(&self.limits.read());
+        catch_panics(|| self.run_analyzed(&sel, &guard))
+    }
+
+    /// Shared body of `EXPLAIN ANALYZE` and [`Database::execute_analyzed`]:
+    /// plan once, execute the planned tree under profiling, render actuals.
+    fn run_analyzed(&self, sel: &SelectStmt, guard: &ExecGuard) -> SqlResult<ProfiledQuery> {
+        let m = mduck_obs::metrics();
+        m.queries_executed.inc(1);
+        m.active_queries.add(1);
+        let _active = GaugeGuard;
+        let _query_span = mduck_obs::span("vecdb.query");
+        let registry = self.registry.read();
+        let bind_start = Instant::now();
+        let plan = {
+            let _s = mduck_obs::span("vecdb.bind");
+            let mut binder = Binder::new(&self.catalog, &registry);
+            binder.bind_select(sel)?
+        };
+        m.vecdb_bind_ns.observe(bind_start.elapsed().as_nanos() as u64);
+        let mut ctx = EngineCtx::new(&self.catalog, &registry, guard);
+        ctx.enable_profiling();
+        let plan_start = Instant::now();
+        let (tree, remaining) = {
+            let _s = mduck_obs::span("vecdb.plan");
+            plan_joins(&ctx, &plan)?
+        };
+        m.vecdb_plan_ns.observe(plan_start.elapsed().as_nanos() as u64);
+        let exec_start = Instant::now();
+        let rows = {
+            let _s = mduck_obs::span("vecdb.exec");
+            execute_select_planned(&ctx, &plan, &tree, &remaining, &OuterStack::EMPTY)?
+        };
+        let exec_elapsed = exec_start.elapsed();
+        m.vecdb_exec_ns.observe(exec_elapsed.as_nanos() as u64);
+        let profile = ctx
+            .profile
+            .as_ref()
+            .ok_or_else(|| SqlError::internal("profiling sink disappeared"))?;
+        let total_ms = exec_elapsed.as_secs_f64() * 1e3;
+        let analyze = AnalyzeData {
+            profile,
+            plan_key: plan_key(&plan),
+            total_ms,
+            result_rows: rows.len(),
+        };
+        let explain = render_plan_analyzed(&plan, &tree, &remaining, &analyze);
+        let operators = op_breakdown(&tree, profile);
+        Ok(ProfiledQuery {
+            result: QueryResult { schema: plan.output_schema.clone(), rows },
+            explain,
+            operators,
+            total_ms,
+        })
     }
 
     /// `CREATE INDEX ... USING <method>(col)`: the data-first bulk path
@@ -496,6 +603,36 @@ impl Database {
         }
         Ok(deleted)
     }
+}
+
+/// A profiled SELECT: result, analyzed-plan text, per-operator actuals.
+#[derive(Debug, Clone)]
+pub struct ProfiledQuery {
+    pub result: QueryResult,
+    /// The `EXPLAIN ANALYZE` rendering.
+    pub explain: String,
+    /// Flattened (preorder) per-operator actuals of the join/scan tree.
+    pub operators: Vec<OpBreakdown>,
+    /// End-to-end execution wall time.
+    pub total_ms: f64,
+}
+
+/// Decrements the active-query gauge on drop (error paths included).
+struct GaugeGuard;
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        mduck_obs::metrics().active_queries.add(-1);
+    }
+}
+
+/// Parse one statement, feeding the parse-phase latency histogram.
+fn parse_timed(sql: &str) -> SqlResult<Statement> {
+    let _s = mduck_obs::span("vecdb.parse");
+    let start = Instant::now();
+    let stmt = parse_statement(sql);
+    mduck_obs::metrics().vecdb_parse_ns.observe(start.elapsed().as_nanos() as u64);
+    stmt
 }
 
 /// The no-panic backstop: a panic escaping the executor is a bug by

@@ -9,6 +9,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use mduck_sql::ast::BinaryOp;
 use mduck_sql::eval::{eval, OuterStack, SubqueryExec};
@@ -34,6 +35,50 @@ pub struct EngineCtx<'a> {
     pub rows_scanned: RefCell<usize>,
     /// True when the optimizer injected at least one index scan.
     pub used_index_scan: RefCell<bool>,
+    /// Per-operator/per-stage actuals, populated only under
+    /// `EXPLAIN ANALYZE` (see [`EngineCtx::enable_profiling`]).
+    pub profile: Option<Profile>,
+}
+
+/// Actuals recorded for one physical operator across all its executions
+/// (a correlated subquery re-runs its operators once per outer row).
+#[derive(Debug, Default, Clone)]
+pub struct OpProf {
+    pub execs: u64,
+    /// Inclusive wall time (children's time subtracted at render time).
+    pub elapsed_ns: u64,
+    pub rows_out: u64,
+    pub chunks_out: u64,
+    /// Rows read from storage by this operator (scans only).
+    pub rows_scanned: u64,
+}
+
+/// Actuals for one post-join stage (aggregate, projection, order_by, ...)
+/// of one [`BoundSelect`].
+#[derive(Debug, Default, Clone)]
+pub struct StageProf {
+    pub execs: u64,
+    pub elapsed_ns: u64,
+    pub rows_out: u64,
+}
+
+/// Profiling sink for `EXPLAIN ANALYZE`. Operators are keyed by node
+/// address within the physical tree (stable for the duration of one
+/// execution), stages by the owning plan's address plus stage name.
+#[derive(Debug, Default)]
+pub struct Profile {
+    pub ops: RefCell<HashMap<usize, OpProf>>,
+    pub stages: RefCell<HashMap<(usize, &'static str), StageProf>>,
+}
+
+/// The opaque profiling key of a physical operator node.
+pub fn op_key(op: &PhysOp) -> usize {
+    op as *const PhysOp as usize
+}
+
+/// The opaque profiling key of a plan's post-join stages.
+pub fn plan_key(plan: &BoundSelect) -> usize {
+    plan as *const BoundSelect as usize
 }
 
 impl<'a> EngineCtx<'a> {
@@ -45,6 +90,22 @@ impl<'a> EngineCtx<'a> {
             ctes: RefCell::new(HashMap::new()),
             rows_scanned: RefCell::new(0),
             used_index_scan: RefCell::new(false),
+            profile: None,
+        }
+    }
+
+    /// Turn on per-operator/per-stage actuals (`EXPLAIN ANALYZE`).
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(Profile::default());
+    }
+
+    fn record_stage(&self, plan: &BoundSelect, name: &'static str, start: Instant, rows: usize) {
+        if let Some(p) = &self.profile {
+            let mut stages = p.stages.borrow_mut();
+            let e = stages.entry((plan_key(plan), name)).or_default();
+            e.execs += 1;
+            e.elapsed_ns += start.elapsed().as_nanos() as u64;
+            e.rows_out += rows as u64;
         }
     }
 }
@@ -94,6 +155,10 @@ pub enum PhysOp {
     Series {
         args: Vec<BoundExpr>,
     },
+    /// `mduck_spans()`: snapshot of the tracing-span ring buffer.
+    SpansScan {
+        types: Vec<LogicalType>,
+    },
     Filter {
         pred: BoundExpr,
         child: Box<PhysOp>,
@@ -113,6 +178,9 @@ pub enum PhysOp {
 
 /// Build the physical join tree for a plan's FROM + WHERE.
 pub fn plan_joins(ctx: &EngineCtx<'_>, plan: &BoundSelect) -> SqlResult<(PhysOp, Vec<BoundExpr>)> {
+    if plan.from.is_empty() {
+        return Err(SqlError::execution("cannot plan joins for a FROM-less select"));
+    }
     // Column offsets of each FROM item in the global input schema.
     let mut offsets = Vec::with_capacity(plan.from.len());
     let mut acc = 0usize;
@@ -244,7 +312,25 @@ fn base_relation(f: &BoundFrom) -> SqlResult<PhysOp> {
             types: schema.fields.iter().map(|fl| fl.ty.clone()).collect(),
         },
         BoundFrom::Series { args, .. } => PhysOp::Series { args: args.clone() },
+        BoundFrom::Spans { schema, .. } => PhysOp::SpansScan {
+            types: schema.fields.iter().map(|fl| fl.ty.clone()).collect(),
+        },
     })
+}
+
+/// Stable snake_case operator name (span labels, bench breakdowns).
+pub fn op_name(op: &PhysOp) -> &'static str {
+    match op {
+        PhysOp::SeqScan { .. } => "seq_scan",
+        PhysOp::IndexScan { .. } => "index_scan",
+        PhysOp::CteScan { .. } => "cte_scan",
+        PhysOp::SubqueryScan { .. } => "subquery_scan",
+        PhysOp::Series { .. } => "generate_series",
+        PhysOp::SpansScan { .. } => "spans_scan",
+        PhysOp::Filter { .. } => "filter",
+        PhysOp::HashJoin { .. } => "hash_join",
+        PhysOp::CrossJoin { .. } => "cross_product",
+    }
 }
 
 /// Recognize `col <op> constant` (or commuted) over an indexed column of
@@ -334,7 +420,50 @@ fn remap_columns(e: &BoundExpr, offset: usize) -> BoundExpr {
 // ------------------------------------------------------------ execution
 
 /// Execute a physical tree, producing chunks.
+///
+/// This is a thin observability wrapper around [`run_op`]: it bumps the
+/// global chunk counter and, under `EXPLAIN ANALYZE`, records per-node
+/// actuals (inclusive wall time, output rows/chunks) and a tracing span.
 pub fn execute_op(
+    ctx: &EngineCtx<'_>,
+    op: &PhysOp,
+    outer: &OuterStack<'_>,
+) -> SqlResult<Chunks> {
+    // Operator spans only under profiling: a correlated subquery re-runs
+    // its tree per outer row and would otherwise flood the span ring.
+    let _span = ctx
+        .profile
+        .as_ref()
+        .map(|_| mduck_obs::span(format!("vecdb.op.{}", op_name(op))));
+    let start = Instant::now();
+    let result = run_op(ctx, op, outer);
+    if let Ok(chunks) = &result {
+        mduck_obs::metrics().chunks_produced.inc(chunks.chunks.len() as u64);
+        if let Some(p) = &ctx.profile {
+            let mut ops = p.ops.borrow_mut();
+            let e = ops.entry(op_key(op)).or_default();
+            e.execs += 1;
+            e.elapsed_ns += start.elapsed().as_nanos() as u64;
+            e.rows_out += chunks.row_count() as u64;
+            e.chunks_out += chunks.chunks.len() as u64;
+        }
+    }
+    result
+}
+
+/// Charge `n` scanned rows to the guard, the statement statistic, the
+/// global metric, and (under profiling) the scan node itself.
+fn note_scanned(ctx: &EngineCtx<'_>, op: &PhysOp, n: usize) -> SqlResult<()> {
+    ctx.guard.check_rows(n)?;
+    *ctx.rows_scanned.borrow_mut() += n;
+    mduck_obs::metrics().rows_scanned.inc(n as u64);
+    if let Some(p) = &ctx.profile {
+        p.ops.borrow_mut().entry(op_key(op)).or_default().rows_scanned += n as u64;
+    }
+    Ok(())
+}
+
+fn run_op(
     ctx: &EngineCtx<'_>,
     op: &PhysOp,
     outer: &OuterStack<'_>,
@@ -344,16 +473,16 @@ pub fn execute_op(
         PhysOp::SeqScan { table } => {
             let t = ctx.catalog.get(table)?;
             let t = t.read();
-            ctx.guard.check_rows(t.row_count())?;
-            *ctx.rows_scanned.borrow_mut() += t.row_count();
+            mduck_obs::metrics().full_scans.inc(1);
+            note_scanned(ctx, op, t.row_count())?;
             Ok(t.scan_chunks())
         }
-        PhysOp::IndexScan { table, op, constant, fallback, .. } => {
+        PhysOp::IndexScan { table, index: _, op: iop, constant, fallback } => {
             let t = ctx.catalog.get(table)?;
             let t = t.read();
             let mut hit = None;
             for idx in &t.indexes {
-                if let Some(rows) = idx.try_scan(op, constant)? {
+                if let Some(rows) = idx.try_scan(iop, constant)? {
                     hit = Some(rows);
                     break;
                 }
@@ -361,14 +490,14 @@ pub fn execute_op(
             match hit {
                 Some(mut rows) => {
                     rows.sort_unstable();
-                    ctx.guard.check_rows(rows.len())?;
-                    *ctx.rows_scanned.borrow_mut() += rows.len();
+                    mduck_obs::metrics().index_probes.inc(1);
+                    note_scanned(ctx, op, rows.len())?;
                     Ok(t.gather_rows(&rows))
                 }
                 None => {
                     // Index declined: sequential scan + original filter.
-                    ctx.guard.check_rows(t.row_count())?;
-                    *ctx.rows_scanned.borrow_mut() += t.row_count();
+                    mduck_obs::metrics().full_scans.inc(1);
+                    note_scanned(ctx, op, t.row_count())?;
                     let chunks = t.scan_chunks();
                     filter_chunks(ctx, chunks, fallback, outer, &exec)
                 }
@@ -424,6 +553,11 @@ pub fn execute_op(
             }
             Ok(out)
         }
+        PhysOp::SpansScan { types } => {
+            let rows = mduck_sql::introspect::span_rows();
+            ctx.guard.check_rows(rows.len())?;
+            Chunks::from_rows(types, &rows)
+        }
         PhysOp::Filter { pred, child } => {
             let input = execute_op(ctx, child, outer)?;
             filter_chunks(ctx, input, pred, outer, &exec)
@@ -449,15 +583,18 @@ fn filter_chunks(
     exec: &dyn SubqueryExec,
 ) -> SqlResult<Chunks> {
     let mut out = Chunks::default();
+    let mut dropped = 0u64;
     for chunk in &input.chunks {
         ctx.guard.tick()?;
         let sel = filter_chunk(pred, chunk, outer, exec)?;
+        dropped += (chunk.len - sel.len()) as u64;
         if sel.len() == chunk.len {
             out.chunks.push(chunk.clone());
         } else if !sel.is_empty() {
             out.chunks.push(chunk.select(&sel));
         }
     }
+    mduck_obs::metrics().rows_filtered.inc(dropped);
     Ok(out)
 }
 
@@ -507,6 +644,7 @@ fn cross_join(ctx: &EngineCtx<'_>, l: &Chunks, r: &Chunks) -> SqlResult<Chunks> 
             out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
         }
     }
+    mduck_obs::metrics().rows_joined.inc(out.row_count() as u64);
     Ok(out)
 }
 
@@ -602,6 +740,7 @@ fn hash_join(
             out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
         }
     }
+    mduck_obs::metrics().rows_joined.inc(out.row_count() as u64);
     Ok(out)
 }
 
@@ -613,6 +752,28 @@ pub fn execute_select(
     plan: &BoundSelect,
     outer: &OuterStack<'_>,
 ) -> SqlResult<Vec<Vec<Value>>> {
+    execute_select_inner(ctx, plan, None, outer)
+}
+
+/// Execute a bound SELECT against a pre-planned join tree. `EXPLAIN
+/// ANALYZE` plans once up front so the profiled node keys match the tree
+/// it renders afterwards.
+pub fn execute_select_planned(
+    ctx: &EngineCtx<'_>,
+    plan: &BoundSelect,
+    tree: &PhysOp,
+    remaining: &[BoundExpr],
+    outer: &OuterStack<'_>,
+) -> SqlResult<Vec<Vec<Value>>> {
+    execute_select_inner(ctx, plan, Some((tree, remaining)), outer)
+}
+
+fn execute_select_inner(
+    ctx: &EngineCtx<'_>,
+    plan: &BoundSelect,
+    planned: Option<(&PhysOp, &[BoundExpr])>,
+    outer: &OuterStack<'_>,
+) -> SqlResult<Vec<Vec<Value>>> {
     let exec = PlanExecutor { ctx };
 
     // 1. Materialize this plan's CTEs (in order; later ones may reference
@@ -622,28 +783,44 @@ pub fn execute_select(
     materialize_ctes(ctx, plan, outer)?;
 
     // 2. Input relation.
+    let run_tree = |tree: &PhysOp, remaining: &[BoundExpr]| -> SqlResult<Chunks> {
+        let mut chunks = execute_op(ctx, tree, outer)?;
+        if !remaining.is_empty() {
+            let t = Instant::now();
+            for pred in remaining {
+                chunks = filter_chunks(ctx, chunks, pred, outer, &exec)?;
+            }
+            ctx.record_stage(plan, "filter", t, chunks.row_count());
+        }
+        Ok(chunks)
+    };
     let input: Chunks = if plan.from.is_empty() {
         // SELECT without FROM: one empty row.
         let mut c = Chunks::default();
         c.chunks.push(DataChunk { columns: vec![], len: 1 });
         c
     } else {
-        let (tree, remaining) = plan_joins(ctx, plan)?;
-        let mut chunks = execute_op(ctx, &tree, outer)?;
-        for pred in remaining {
-            chunks = filter_chunks(ctx, chunks, &pred, outer, &exec)?;
+        match planned {
+            Some((tree, remaining)) => run_tree(tree, remaining)?,
+            None => {
+                let (tree, remaining) = plan_joins(ctx, plan)?;
+                run_tree(&tree, &remaining)?
+            }
         }
-        chunks
     };
 
     // 3. Aggregation → environment rows.
     let (env_rows, env_is_input) = if plan.aggregated {
-        (aggregate(ctx, plan, &input, outer)?, false)
+        let t = Instant::now();
+        let rows = aggregate(ctx, plan, &input, outer)?;
+        ctx.record_stage(plan, "aggregate", t, rows.len());
+        (rows, false)
     } else {
         (Vec::new(), true)
     };
 
     // 4 + 5. HAVING + projection.
+    let proj_start = Instant::now();
     let mut out_rows: Vec<Vec<Value>> = Vec::new();
     let mut env_kept: Vec<Vec<Value>> = Vec::new();
     let needs_env = plan
@@ -684,9 +861,11 @@ pub fn execute_select(
             }
         }
     }
+    ctx.record_stage(plan, "projection", proj_start, out_rows.len());
 
     // 6. DISTINCT.
     if plan.distinct {
+        let t = Instant::now();
         let mut seen = std::collections::HashSet::new();
         let mut kept_out = Vec::with_capacity(out_rows.len());
         let mut kept_env = Vec::new();
@@ -704,10 +883,12 @@ pub fn execute_select(
         }
         out_rows = kept_out;
         env_kept = kept_env;
+        ctx.record_stage(plan, "distinct", t, out_rows.len());
     }
 
     // 7. ORDER BY.
     if !plan.order_by.is_empty() {
+        let t = Instant::now();
         let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(out_rows.len());
         for i in 0..out_rows.len() {
             let mut keys = Vec::with_capacity(plan.order_by.len());
@@ -743,15 +924,20 @@ pub fn execute_select(
             std::cmp::Ordering::Equal
         });
         out_rows = keyed.into_iter().map(|(_, i)| out_rows[i].clone()).collect();
+        ctx.record_stage(plan, "order_by", t, out_rows.len());
     }
 
     // 8. OFFSET / LIMIT.
-    if let Some(off) = plan.offset {
-        let off = off as usize;
-        out_rows = if off >= out_rows.len() { Vec::new() } else { out_rows.split_off(off) };
-    }
-    if let Some(lim) = plan.limit {
-        out_rows.truncate(lim as usize);
+    if plan.offset.is_some() || plan.limit.is_some() {
+        let t = Instant::now();
+        if let Some(off) = plan.offset {
+            let off = off as usize;
+            out_rows = if off >= out_rows.len() { Vec::new() } else { out_rows.split_off(off) };
+        }
+        if let Some(lim) = plan.limit {
+            out_rows.truncate(lim as usize);
+        }
+        ctx.record_stage(plan, "limit", t, out_rows.len());
     }
     Ok(out_rows)
 }

@@ -1,16 +1,58 @@
 //! EXPLAIN rendering in DuckDB's boxed-tree style (the paper's Figure 1).
+//!
+//! `EXPLAIN ANALYZE` renders the same tree annotated with actuals from an
+//! execution [`Profile`]: per-operator exclusive wall time, input/output
+//! cardinalities, and chunk counts for the vectorized pipeline.
 
 use mduck_sql::{BoundExpr, BoundSelect, SortKey};
 
-use crate::exec::PhysOp;
+use crate::exec::{op_key, op_name, PhysOp, Profile};
 
 const BOX_WIDTH: usize = 29;
 
+/// Actuals attached to an `EXPLAIN ANALYZE` rendering.
+pub struct AnalyzeData<'a> {
+    pub profile: &'a Profile,
+    /// Key of the top-level plan's post-join stages (`exec::plan_key`).
+    pub plan_key: usize,
+    /// End-to-end execution wall time.
+    pub total_ms: f64,
+    /// Rows in the final result.
+    pub result_rows: usize,
+}
+
 /// Render the full plan (post-join stages plus the join/scan tree).
 pub fn render_plan(plan: &BoundSelect, tree: &PhysOp, remaining: &[BoundExpr]) -> String {
-    let mut nodes: Vec<(String, Vec<String>)> = Vec::new();
+    render(plan, tree, remaining, None)
+}
+
+/// Render the plan annotated with actuals (`EXPLAIN ANALYZE`).
+pub fn render_plan_analyzed(
+    plan: &BoundSelect,
+    tree: &PhysOp,
+    remaining: &[BoundExpr],
+    analyze: &AnalyzeData<'_>,
+) -> String {
+    render(plan, tree, remaining, Some(analyze))
+}
+
+fn render(
+    plan: &BoundSelect,
+    tree: &PhysOp,
+    remaining: &[BoundExpr],
+    analyze: Option<&AnalyzeData<'_>>,
+) -> String {
+    // (title, detail, stage-profile name)
+    let mut nodes: Vec<(String, Vec<String>, Option<&'static str>)> = Vec::new();
     if plan.limit.is_some() || plan.offset.is_some() {
-        nodes.push(("LIMIT".into(), vec![format!("{:?}", plan.limit.unwrap_or(0))]));
+        let mut d = Vec::new();
+        if let Some(l) = plan.limit {
+            d.push(format!("LIMIT {l}"));
+        }
+        if let Some(o) = plan.offset {
+            d.push(format!("OFFSET {o}"));
+        }
+        nodes.push(("LIMIT".into(), d, Some("limit")));
     }
     if !plan.order_by.is_empty() {
         let keys: Vec<String> = plan
@@ -24,79 +66,189 @@ pub fn render_plan(plan: &BoundSelect, tree: &PhysOp, remaining: &[BoundExpr]) -
                 format!("{k} {}", if o.asc { "ASC" } else { "DESC" })
             })
             .collect();
-        nodes.push(("ORDER_BY".into(), keys));
+        nodes.push(("ORDER_BY".into(), keys, Some("order_by")));
     }
     if plan.distinct {
-        nodes.push(("DISTINCT".into(), vec![]));
+        nodes.push(("DISTINCT".into(), vec![], Some("distinct")));
     }
     nodes.push((
         "PROJECTION".into(),
         plan.projections.iter().map(|p| format!("{p:?}")).collect(),
+        Some("projection"),
     ));
     if plan.aggregated {
         let mut detail: Vec<String> =
             plan.group_by.iter().map(|g| format!("group: {g:?}")).collect();
         detail.extend(plan.aggregates.iter().map(|a| format!("{a:?}")));
-        nodes.push(("HASH_GROUP_BY".into(), detail));
+        nodes.push(("HASH_GROUP_BY".into(), detail, Some("aggregate")));
     }
-    for pred in remaining {
-        nodes.push(("FILTER".into(), vec![format!("{pred:?}")]));
+    for (i, pred) in remaining.iter().enumerate() {
+        // The "filter" stage times all remaining predicates together;
+        // attach it to the first box only.
+        let stage = (i == 0).then_some("filter");
+        nodes.push(("FILTER".into(), vec![format!("{pred:?}")], stage));
     }
 
     let mut out = String::new();
-    for (name, detail) in nodes {
+    if let Some(a) = analyze {
+        out.push_str(&format!("Total Time: {:.3} ms\n", a.total_ms));
+        out.push_str(&format!("Rows Returned: {}\n", a.result_rows));
+    }
+    for (name, mut detail, stage) in nodes {
+        if let (Some(a), Some(stage)) = (analyze, stage) {
+            detail.extend(stage_lines(a, stage));
+        }
         push_box(&mut out, &name, &detail, true);
     }
-    render_op(&mut out, tree);
+    render_op(&mut out, tree, analyze);
     out
 }
 
-fn render_op(out: &mut String, op: &PhysOp) {
+fn stage_lines(a: &AnalyzeData<'_>, stage: &'static str) -> Vec<String> {
+    match a.profile.stages.borrow().get(&(a.plan_key, stage)) {
+        Some(s) => vec![
+            format!("actual: {:.3} ms", s.elapsed_ns as f64 / 1e6),
+            format!("rows: {}", s.rows_out),
+        ],
+        None => Vec::new(),
+    }
+}
+
+fn op_children(op: &PhysOp) -> Vec<&PhysOp> {
     match op {
-        PhysOp::SeqScan { table } => {
-            push_box(out, "SEQ_SCAN", &[table.clone()], false);
+        PhysOp::Filter { child, .. } => vec![child],
+        PhysOp::HashJoin { left, right, .. } | PhysOp::CrossJoin { left, right } => {
+            vec![left, right]
         }
-        PhysOp::IndexScan { table, index, op, .. } => {
-            push_box(
-                out,
-                "TRTREE_INDEX_SCAN",
-                &[table.clone(), format!("index: {index}"), format!("op: {op}")],
-                false,
-            );
-        }
-        PhysOp::CteScan { name, .. } => {
-            push_box(out, "CTE_SCAN", &[name.clone()], false);
-        }
-        PhysOp::SubqueryScan { .. } => {
-            push_box(out, "SUBQUERY_SCAN", &[], false);
-        }
-        PhysOp::Series { .. } => {
-            push_box(out, "GENERATE_SERIES", &[], false);
-        }
-        PhysOp::Filter { pred, child } => {
-            push_box(out, "FILTER", &[format!("{pred:?}")], true);
-            render_op(out, child);
-        }
-        PhysOp::HashJoin { left, right, left_keys, right_keys } => {
-            let cond: Vec<String> = left_keys
+        _ => Vec::new(),
+    }
+}
+
+/// Actual-value detail lines for one operator box: exclusive wall time
+/// (children's inclusive time subtracted), input/output rows, chunks.
+fn op_lines(a: &AnalyzeData<'_>, op: &PhysOp) -> Vec<String> {
+    let ops = a.profile.ops.borrow();
+    let Some(p) = ops.get(&op_key(op)) else {
+        return vec!["actual: not executed".into()];
+    };
+    let children = op_children(op);
+    let child_ns: u64 = children
+        .iter()
+        .filter_map(|c| ops.get(&op_key(c)))
+        .map(|c| c.elapsed_ns)
+        .sum();
+    let rows_in: u64 = if children.is_empty() {
+        p.rows_scanned
+    } else {
+        children
+            .iter()
+            .filter_map(|c| ops.get(&op_key(c)))
+            .map(|c| c.rows_out)
+            .sum()
+    };
+    let mut lines = vec![
+        format!("actual: {:.3} ms", p.elapsed_ns.saturating_sub(child_ns) as f64 / 1e6),
+        format!("rows: {} → {}", rows_in, p.rows_out),
+        format!("chunks: {}", p.chunks_out),
+    ];
+    if p.execs > 1 {
+        lines.push(format!("execs: {}", p.execs));
+    }
+    lines
+}
+
+fn render_op(out: &mut String, op: &PhysOp, analyze: Option<&AnalyzeData<'_>>) {
+    let (title, mut detail, has_child): (&str, Vec<String>, bool) = match op {
+        PhysOp::SeqScan { table } => ("SEQ_SCAN", vec![table.clone()], false),
+        PhysOp::IndexScan { table, index, op, .. } => (
+            "TRTREE_INDEX_SCAN",
+            vec![table.clone(), format!("index: {index}"), format!("op: {op}")],
+            false,
+        ),
+        PhysOp::CteScan { name, .. } => ("CTE_SCAN", vec![name.clone()], false),
+        PhysOp::SubqueryScan { .. } => ("SUBQUERY_SCAN", vec![], false),
+        PhysOp::Series { .. } => ("GENERATE_SERIES", vec![], false),
+        PhysOp::SpansScan { .. } => ("SPANS_SCAN", vec!["mduck_spans()".into()], false),
+        PhysOp::Filter { pred, .. } => ("FILTER", vec![format!("{pred:?}")], true),
+        PhysOp::HashJoin { left_keys, right_keys, .. } => (
+            "HASH_JOIN",
+            left_keys
                 .iter()
                 .zip(right_keys)
                 .map(|(l, r)| format!("{l:?} = {r:?}"))
-                .collect();
-            push_box(out, "HASH_JOIN", &cond, true);
+                .collect(),
+            true,
+        ),
+        PhysOp::CrossJoin { .. } => ("CROSS_PRODUCT", vec![], true),
+    };
+    if let Some(a) = analyze {
+        detail.extend(op_lines(a, op));
+    }
+    push_box(out, title, &detail, has_child);
+    match op {
+        PhysOp::Filter { child, .. } => render_op(out, child, analyze),
+        PhysOp::HashJoin { left, right, .. } => {
             // Render children sequentially (left above right) with a
             // divider — a readable simplification of DuckDB's 2-D layout.
-            render_op(out, left);
+            render_op(out, left, analyze);
             out.push_str(&format!("{:^width$}\n", "──── build side ────", width = BOX_WIDTH + 2));
-            render_op(out, right);
+            render_op(out, right, analyze);
         }
         PhysOp::CrossJoin { left, right } => {
-            push_box(out, "CROSS_PRODUCT", &[], true);
-            render_op(out, left);
+            render_op(out, left, analyze);
             out.push_str(&format!("{:^width$}\n", "──── right side ────", width = BOX_WIDTH + 2));
-            render_op(out, right);
+            render_op(out, right, analyze);
+        }
+        _ => {}
+    }
+}
+
+/// One flattened per-operator row of an analyzed plan (bench exports).
+#[derive(Debug, Clone)]
+pub struct OpBreakdown {
+    pub op: &'static str,
+    pub detail: String,
+    pub execs: u64,
+    /// Exclusive wall time (children subtracted).
+    pub elapsed_ms: f64,
+    pub rows_out: u64,
+    pub chunks_out: u64,
+    pub rows_scanned: u64,
+}
+
+/// Flatten an analyzed tree, preorder, into per-operator actuals.
+pub fn op_breakdown(tree: &PhysOp, profile: &Profile) -> Vec<OpBreakdown> {
+    let mut out = Vec::new();
+    let ops = profile.ops.borrow();
+    let mut stack = vec![tree];
+    while let Some(op) = stack.pop() {
+        let detail = match op {
+            PhysOp::SeqScan { table } => table.clone(),
+            PhysOp::IndexScan { table, index, .. } => format!("{table}.{index}"),
+            PhysOp::CteScan { name, .. } => name.clone(),
+            _ => String::new(),
+        };
+        let p = ops.get(&op_key(op)).cloned().unwrap_or_default();
+        let child_ns: u64 = op_children(op)
+            .iter()
+            .filter_map(|c| ops.get(&op_key(c)))
+            .map(|c| c.elapsed_ns)
+            .sum();
+        out.push(OpBreakdown {
+            op: op_name(op),
+            detail,
+            execs: p.execs,
+            elapsed_ms: p.elapsed_ns.saturating_sub(child_ns) as f64 / 1e6,
+            rows_out: p.rows_out,
+            chunks_out: p.chunks_out,
+            rows_scanned: p.rows_scanned,
+        });
+        // Preorder: children pushed right-to-left.
+        for c in op_children(op).into_iter().rev() {
+            stack.push(c);
         }
     }
+    out
 }
 
 fn push_box(out: &mut String, title: &str, detail: &[String], has_child: bool) {

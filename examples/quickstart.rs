@@ -87,4 +87,18 @@ fn main() {
         "SELECT vehicle, ST_AsText(valueAtTimestamp(trip, timestamptz '2025-01-01 08:15:00')) AS at_815 \
          FROM trips WHERE trip::tstzspan @> timestamptz '2025-01-01 08:15:00' ORDER BY vehicle",
     );
+
+    // Observability: profile a spatiotemporal range query, then read the
+    // engine's own counters back through SQL.
+    println!("== EXPLAIN ANALYZE + PRAGMA metrics ==\n");
+    show(
+        &db,
+        "EXPLAIN ANALYZE SELECT vehicle FROM trips \
+         WHERE trip && stbox 'STBOX X((0.0,0.0),(5000.0,1000.0))' ORDER BY vehicle",
+    );
+    show(
+        &db,
+        "PRAGMA metrics",
+    );
+    show(&db, "SELECT name, depth, duration_us FROM mduck_spans() WHERE depth = 1 ORDER BY span_id");
 }

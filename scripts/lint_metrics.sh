@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Metric-name lint: every metric registered in the global registry must
+# be snake_case and unique. Dashboards and the `PRAGMA metrics` output
+# key on these names, so a typo or a duplicate silently splits a series.
+#
+# The registry is declared between the `lint-metrics-begin` /
+# `lint-metrics-end` markers in crates/obs/src/metrics.rs; this script
+# extracts the field names from that block.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+src=crates/obs/src/metrics.rs
+
+# Metric names are the bare `identifier,` lines inside the macro block
+# (group headers like `counters {` don't end with a comma).
+names=$(sed -n '/lint-metrics-begin/,/lint-metrics-end/p' "$src" \
+  | grep -oE '^[[:space:]]*[A-Za-z0-9_]+,[[:space:]]*$' \
+  | tr -d ' ,' || true)
+
+if [ -z "$names" ]; then
+  echo "lint_metrics: no metric names found between markers in $src" >&2
+  exit 1
+fi
+
+status=0
+
+bad=$(echo "$names" | grep -vE '^[a-z][a-z0-9_]*$' || true)
+if [ -n "$bad" ]; then
+  echo "lint_metrics: metric names must be snake_case ([a-z][a-z0-9_]*):" >&2
+  echo "$bad" | sed 's/^/  /' >&2
+  status=1
+fi
+
+dupes=$(echo "$names" | sort | uniq -d)
+if [ -n "$dupes" ]; then
+  echo "lint_metrics: duplicate metric names:" >&2
+  echo "$dupes" | sed 's/^/  /' >&2
+  status=1
+fi
+
+count=$(echo "$names" | wc -l)
+if [ "$status" -eq 0 ]; then
+  echo "lint_metrics: $count metric names OK"
+fi
+exit "$status"

@@ -16,6 +16,13 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== observability tests =="
+# The obs crate and the cross-engine introspection surface get an
+# explicit pass: these are the gates for the EXPLAIN ANALYZE golden and
+# the PRAGMA metrics contract.
+cargo test -q -p mduck-obs
+cargo test -q -p mduck-integration --test observability --test guard_limits
+
 echo "== clippy =="
 # Scoped to the bug classes this codebase has actually shipped
 # (panicking arithmetic/slicing in parsers); unwrap/expect policing is
@@ -28,5 +35,8 @@ cargo clippy --workspace --all-targets -- \
 
 echo "== panic lint =="
 scripts/lint_panics.sh
+
+echo "== metric-name lint =="
+scripts/lint_metrics.sh
 
 echo "verify: all gates passed"

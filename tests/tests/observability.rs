@@ -1,0 +1,243 @@
+//! Integration tests for the observability layer: EXPLAIN / EXPLAIN
+//! ANALYZE rendering, `PRAGMA metrics` introspection, and the
+//! `mduck_spans()` table function — exercised on both engines.
+//!
+//! The metrics registry is process-global, so value assertions are either
+//! monotonic deltas (`after >= before + k`) or serialized behind `SERIAL`.
+
+use std::sync::Mutex;
+
+use mduck_rowdb::RowDatabase;
+use mduck_sql::Value;
+use quackdb::Database;
+
+/// Serializes the tests that reset or read exact global metric values.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn vec_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE pts(id INTEGER, x DOUBLE, tag TEXT)").unwrap();
+    let vals: Vec<String> =
+        (0..100).map(|i| format!("({i}, {}.5, 't{}')", i % 10, i % 3)).collect();
+    db.execute(&format!("INSERT INTO pts VALUES {}", vals.join(","))).unwrap();
+    db
+}
+
+fn row_db() -> RowDatabase {
+    let db = RowDatabase::new();
+    db.execute("CREATE TABLE pts(id INTEGER, x DOUBLE, tag TEXT)").unwrap();
+    let vals: Vec<String> =
+        (0..100).map(|i| format!("({i}, {}.5, 't{}')", i % 10, i % 3)).collect();
+    db.execute(&format!("INSERT INTO pts VALUES {}", vals.join(","))).unwrap();
+    db
+}
+
+/// Normalize an EXPLAIN rendering for golden comparison: drop the
+/// box-drawing characters, trim each line, replace every run of digits
+/// and dots with `N` (timings and row counts vary run to run), and drop
+/// lines left empty. What remains is the plan shape and label text.
+fn mask(explain: &str) -> Vec<String> {
+    explain
+        .lines()
+        .map(|line| {
+            let mut out = String::new();
+            let mut in_num = false;
+            for c in line.chars() {
+                match c {
+                    '┌' | '┐' | '└' | '┘' | '┬' | '┴' | '│' | '─' => {}
+                    '0'..='9' | '.' => {
+                        if !in_num {
+                            out.push('N');
+                            in_num = true;
+                        }
+                    }
+                    c => {
+                        in_num = false;
+                        out.push(c);
+                    }
+                }
+            }
+            out.trim().to_string()
+        })
+        .filter(|l| !l.is_empty())
+        .collect()
+}
+
+#[test]
+fn vec_explain_analyze_golden() {
+    let db = vec_db();
+    let r = db
+        .execute(
+            "EXPLAIN ANALYZE SELECT tag, count(*) FROM pts \
+             WHERE x > 2.0 GROUP BY tag ORDER BY tag LIMIT 2",
+        )
+        .unwrap();
+    assert_eq!(r.schema.fields.len(), 1);
+    let got = mask(&r.rows[0][0].to_string());
+    let want: Vec<&str> = vec![
+        "Total Time: N ms",
+        "Rows Returned: N",
+        "LIMIT",
+        "LIMIT N",
+        "actual: N ms",
+        "rows: N",
+        "ORDER_BY",
+        "#N ASC",
+        "actual: N ms",
+        "rows: N",
+        "PROJECTION",
+        "col#N",
+        "col#N",
+        "actual: N ms",
+        "rows: N",
+        "HASH_GROUP_BY",
+        "group: col#N",
+        "count([])",
+        "actual: N ms",
+        "rows: N",
+        "FILTER",
+        "(col#N > lit(Float(N)))",
+        "actual: N ms",
+        "rows: N → N",
+        "chunks: N",
+        "SEQ_SCAN",
+        "pts",
+        "actual: N ms",
+        "rows: N → N",
+        "chunks: N",
+    ];
+    assert_eq!(got, want, "masked EXPLAIN ANALYZE drifted:\n{}", r.rows[0][0]);
+}
+
+#[test]
+fn vec_explain_analyze_actuals_are_real() {
+    let db = vec_db();
+    let r = db.execute("EXPLAIN ANALYZE SELECT * FROM pts WHERE id < 7").unwrap();
+    let text = r.rows[0][0].to_string();
+    assert!(text.contains("rows: 100 → 7"), "filter actuals missing:\n{text}");
+    assert!(text.contains("rows: 100 → 100"), "scan actuals missing:\n{text}");
+    assert!(text.contains("chunks: 1"), "chunk count missing:\n{text}");
+    assert!(text.contains("Rows Returned: 7"), "header missing:\n{text}");
+}
+
+#[test]
+fn vec_offset_without_limit_renders_offset() {
+    let db = vec_db();
+    let r = db.execute("EXPLAIN SELECT id FROM pts OFFSET 5").unwrap();
+    let text = r.rows[0][0].to_string();
+    assert!(text.contains("OFFSET 5"), "missing OFFSET detail:\n{text}");
+    assert!(!text.contains("LIMIT 0"), "offset-only rendered as LIMIT 0:\n{text}");
+    // Both clauses present: each gets its own detail line.
+    let r = db.execute("EXPLAIN SELECT id FROM pts LIMIT 3 OFFSET 5").unwrap();
+    let text = r.rows[0][0].to_string();
+    assert!(text.contains("LIMIT 3") && text.contains("OFFSET 5"), "{text}");
+}
+
+#[test]
+fn row_offset_without_limit_renders_offset() {
+    let db = row_db();
+    let r = db.execute("EXPLAIN SELECT id FROM pts OFFSET 5").unwrap();
+    let text = r.rows[0][0].to_string();
+    assert!(text.contains("Limit (offset 5)"), "missing offset detail:\n{text}");
+    let r = db.execute("EXPLAIN SELECT id FROM pts LIMIT 3 OFFSET 5").unwrap();
+    let text = r.rows[0][0].to_string();
+    assert!(text.contains("Limit (3 rows, offset 5)"), "{text}");
+}
+
+#[test]
+fn row_explain_analyze_reports_execution_footer() {
+    let db = row_db();
+    let r = db
+        .execute("EXPLAIN ANALYZE SELECT tag, count(*) FROM pts WHERE x > 2.0 GROUP BY tag")
+        .unwrap();
+    let text = r.rows[0][0].to_string();
+    assert!(text.contains("Seq Scan on pts"), "{text}");
+    assert!(text.contains("Execution Time:"), "missing wall time:\n{text}");
+    assert!(text.contains("Rows Returned: 3"), "missing row count:\n{text}");
+    assert!(text.contains("Rows Scanned: 100"), "missing scan count:\n{text}");
+}
+
+#[test]
+fn pragma_metrics_schema_is_identical_across_engines() {
+    let _lock = SERIAL.lock().unwrap();
+    let vdb = vec_db();
+    let rdb = row_db();
+    vdb.execute("SELECT * FROM pts WHERE x > 2.0").unwrap();
+    rdb.execute("SELECT * FROM pts WHERE x > 2.0").unwrap();
+    let vm = vdb.execute("PRAGMA metrics").unwrap();
+    let rm = rdb.execute("PRAGMA metrics").unwrap();
+
+    let cols = |s: &mduck_sql::Schema| {
+        s.fields.iter().map(|f| f.name.clone()).collect::<Vec<_>>()
+    };
+    assert_eq!(cols(&vm.schema), vec!["name", "kind", "value", "detail"]);
+    assert_eq!(cols(&vm.schema), cols(&rm.schema), "schemas differ across engines");
+    // Same registry behind both engines: identical metric rows, same order.
+    let names = |r: &[Vec<Value>]| {
+        r.iter().map(|row| row[0].to_string()).collect::<Vec<_>>()
+    };
+    assert_eq!(names(&vm.rows), names(&rm.rows), "metric sets differ across engines");
+
+    let lookup = |r: &[Vec<Value>], name: &str| -> (i64, String) {
+        let row = r.iter().find(|row| row[0].to_string() == name).unwrap();
+        match (&row[2], &row[3]) {
+            (Value::Int(v), Value::Text(d)) => (*v, d.to_string()),
+            other => panic!("unexpected value/detail types: {other:?}"),
+        }
+    };
+    // Both engines scanned the 100-row table at least once.
+    let (scanned, _) = lookup(&rm.rows, "rows_scanned");
+    assert!(scanned >= 200, "expected scans from both engines, got {scanned}");
+    // Phase-latency histograms populated for both engines.
+    for h in ["vecdb_parse_ns", "vecdb_exec_ns", "rowdb_parse_ns", "rowdb_exec_ns"] {
+        let (count, detail) = lookup(&rm.rows, h);
+        assert!(count >= 1, "{h} histogram empty");
+        assert!(detail.contains("p50=") && detail.contains("p95="), "{h}: {detail}");
+    }
+}
+
+#[test]
+fn pragma_reset_metrics_reports_status() {
+    let _lock = SERIAL.lock().unwrap();
+    let db = vec_db();
+    let before = mduck_obs::metrics().queries_executed.get();
+    db.execute("SELECT count(*) FROM pts").unwrap();
+    assert!(mduck_obs::metrics().queries_executed.get() >= before + 1);
+
+    let r = db.execute("PRAGMA reset_metrics").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0].to_string(), "metrics reset");
+    // Unknown pragmas are a catalog error, not a panic.
+    assert!(db.execute("PRAGMA no_such_pragma").is_err());
+    let rdb = row_db();
+    assert!(rdb.execute("PRAGMA no_such_pragma").is_err());
+}
+
+#[test]
+fn mduck_spans_is_queryable_from_both_engines() {
+    let vdb = vec_db();
+    vdb.execute("SELECT count(*) FROM pts").unwrap();
+    let r = vdb
+        .execute("SELECT name, depth, duration_us FROM mduck_spans() WHERE name = 'vecdb.exec'")
+        .unwrap();
+    assert!(!r.rows.is_empty(), "no vecdb.exec spans recorded");
+
+    let rdb = row_db();
+    rdb.execute("SELECT count(*) FROM pts").unwrap();
+    let r = rdb
+        .execute("SELECT name FROM mduck_spans() WHERE name = 'rowdb.exec'")
+        .unwrap();
+    assert!(!r.rows.is_empty(), "no rowdb.exec spans recorded");
+
+    // Child spans nest under the statement span.
+    let r = vdb
+        .execute(
+            "SELECT s.name FROM mduck_spans() s \
+             WHERE s.name = 'vecdb.bind' AND s.depth >= 1 LIMIT 1",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "bind span should sit below the query span");
+
+    // The alias participates in binding like any table.
+    assert!(vdb.execute("SELECT * FROM mduck_spans(1)").is_err(), "args must be rejected");
+}
