@@ -8,8 +8,10 @@
 //!
 //! Besides the plain-text tables, the run emits two machine-readable
 //! reports into the working directory:
-//! - `BENCH_queries.json` — one record per (query, scale factor, engine)
-//!   with mean/p50/p95 runtimes and the result row count;
+//! - `BENCH_queries.json` — one record per (query, scale factor, engine,
+//!   thread count) with mean/p50/p95 runtimes and the result row count; the
+//!   vectorized engine is measured at threads=1 and, on multi-core hosts,
+//!   threads=max (morsel-driven parallelism);
 //! - `BENCH_operators.json` — the vectorized engine's per-operator
 //!   `EXPLAIN ANALYZE` breakdown for every (query, scale factor).
 
@@ -58,10 +60,17 @@ fn main() {
     let mut duck_beats_both = vec![true; 18]; // indexed by query id
     let mut query_records: Vec<Json> = Vec::new();
     let mut operator_records: Vec<Json> = Vec::new();
+    // (query, sf, serial p50, parallel p50) for the threads summary.
+    let mut speedups: Vec<(u32, f64, f64, f64)> = Vec::new();
 
     for &sf in sfs {
         eprintln!("preparing SF-{sf} ...");
         let env = BenchEnv::prepare(ScaleFactor(sf), 42);
+        // Morsel-driven parallelism: the vectorized engine is measured at
+        // threads=1 and (on multi-core hosts) threads=max, as its own
+        // dimension in BENCH_queries.json.
+        env.vdb.set_threads(0);
+        let max_threads = env.vdb.effective_threads();
         println!(
             "\nFigure 12 — SF-{sf}: {} vehicles, {} trips (runtimes in ms, median of {runs})\n",
             env.data.vehicles.len(),
@@ -76,21 +85,44 @@ fn main() {
             let mut cells = vec![format!("Q{id}")];
             let mut times = Vec::new();
             for (si, sc) in scenarios.iter().enumerate() {
-                let stats = env.run_stats(*sc, sql, runs);
+                let mut record = |stats: mduck_bench::RunStats, threads: usize| {
+                    query_records.push(Json::Obj(vec![
+                        ("query", Json::Str(format!("Q{id}"))),
+                        ("sf", Json::Num(sf)),
+                        ("engine", Json::Str(sc.id().into())),
+                        ("threads", Json::Int(threads as i64)),
+                        ("mean_ms", Json::Num(stats.mean_ms)),
+                        ("p50_ms", Json::Num(stats.p50_ms)),
+                        ("p95_ms", Json::Num(stats.p95_ms)),
+                        ("rows", Json::Int(stats.rows as i64)),
+                    ]));
+                };
+                let stats = if *sc == Scenario::MobilityDuck {
+                    // Serial baseline first, then the worker pool at full
+                    // width; the table reports the parallel numbers.
+                    env.vdb.set_threads(1);
+                    let serial = env.run_stats(*sc, sql, runs);
+                    record(serial, 1);
+                    if max_threads > 1 {
+                        env.vdb.set_threads(max_threads);
+                        let parallel = env.run_stats(*sc, sql, runs);
+                        record(parallel, max_threads);
+                        speedups.push((id, sf, serial.p50_ms, parallel.p50_ms));
+                        parallel
+                    } else {
+                        serial
+                    }
+                } else {
+                    // The row engine is single-threaded by design.
+                    let stats = env.run_stats(*sc, sql, runs);
+                    record(stats, 1);
+                    stats
+                };
                 times.push(stats.p50_ms);
                 cells.push(format!("{:.2}", stats.p50_ms));
                 if si == 0 {
                     cells.push(stats.rows.to_string());
                 }
-                query_records.push(Json::Obj(vec![
-                    ("query", Json::Str(format!("Q{id}"))),
-                    ("sf", Json::Num(sf)),
-                    ("engine", Json::Str(sc.id().into())),
-                    ("mean_ms", Json::Num(stats.mean_ms)),
-                    ("p50_ms", Json::Num(stats.p50_ms)),
-                    ("p95_ms", Json::Num(stats.p95_ms)),
-                    ("rows", Json::Int(stats.rows as i64)),
-                ]));
             }
             match env.vdb.execute_analyzed(sql) {
                 Ok(profiled) => {
@@ -149,6 +181,32 @@ fn main() {
         "  MobilityDuck fastest in all tested SFs on {duck_sweeps}/17 queries \
          (paper reports 12/17)."
     );
+
+    if speedups.is_empty() {
+        println!("\nParallel execution: single-core host, threads dimension not measured.");
+    } else {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut accelerated = 0usize;
+        for &(id, sf, serial, parallel) in &speedups {
+            let x = if parallel > 0.0 { serial / parallel } else { 1.0 };
+            if x >= 1.5 {
+                accelerated += 1;
+            }
+            rows.push(vec![
+                format!("Q{id}"),
+                format!("{sf}"),
+                format!("{serial:.2}"),
+                format!("{parallel:.2}"),
+                format!("{x:.2}x"),
+            ]);
+        }
+        println!("\nMorsel-driven parallelism (vectorized engine, p50 ms):");
+        println!(
+            "{}",
+            render_table(&["query", "sf", "threads=1", "threads=max", "speedup"], &rows)
+        );
+        println!("  >=1.5x speedup on {accelerated}/{} cells.", speedups.len());
+    }
 
     for (path, records) in [
         ("BENCH_queries.json", &query_records),

@@ -21,7 +21,7 @@
 pub mod metrics;
 pub mod span;
 
-pub use metrics::{metrics, Counter, Gauge, Histogram, MetricSnapshot, Metrics};
+pub use metrics::{metrics, Counter, Gauge, Histogram, MetricSnapshot, Metrics, WorkerCounters};
 pub use span::{
     reset_spans, span, spans_snapshot, Span, SpanRecord, SPAN_BUFFER_CAP,
 };

@@ -273,6 +273,9 @@ define_metrics! {
         guard_trip_row_budget,
         guard_trip_depth,
         guard_trip_cancel,
+        parallel_stages,
+        parallel_workers_spawned,
+        morsels_dispatched,
     }
     gauges {
         active_queries,
@@ -293,6 +296,30 @@ define_metrics! {
 pub fn metrics() -> &'static Metrics {
     static REGISTRY: OnceLock<Metrics> = OnceLock::new();
     REGISTRY.get_or_init(Metrics::default)
+}
+
+/// Thread-local counters for one morsel worker.
+///
+/// Workers never touch the shared atomics while running (no contended
+/// cache lines on the hot path); the coordinator merges every worker's
+/// counts and flushes the total into the global registry once per
+/// parallel stage.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Rows dropped by predicate evaluation.
+    pub rows_filtered: u64,
+}
+
+impl WorkerCounters {
+    pub fn merge(&mut self, other: &WorkerCounters) {
+        self.rows_filtered += other.rows_filtered;
+    }
+
+    /// Flush merged counts into the global registry — one call per
+    /// parallel stage, not per worker.
+    pub fn flush(&self) {
+        metrics().rows_filtered.inc(self.rows_filtered);
+    }
 }
 
 #[cfg(test)]

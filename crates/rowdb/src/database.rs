@@ -157,10 +157,32 @@ impl RowDatabase {
                     rows: vec![vec![Value::text(text)]],
                 })
             }
-            Statement::Pragma { name } => match mduck_sql::introspect::pragma(name)? {
-                Some((schema, rows)) => Ok(RowQueryResult { schema, rows }),
-                None => Err(SqlError::Catalog(format!("unknown pragma {name:?}"))),
-            },
+            Statement::Pragma { name, value } => {
+                // The row engine is single-threaded by design (it stands in
+                // for tuple-at-a-time PostgreSQL): `PRAGMA threads` is
+                // accepted for cross-engine script compatibility but always
+                // reports 1.
+                if name == "threads" {
+                    if let Some(v) = *value {
+                        if v < 0 {
+                            return Err(SqlError::OutOfRange(format!(
+                                "PRAGMA threads expects a non-negative value, got {v}"
+                            )));
+                        }
+                    }
+                    let (schema, rows) = mduck_sql::introspect::threads_result(1);
+                    return Ok(RowQueryResult { schema, rows });
+                }
+                if value.is_some() {
+                    return Err(SqlError::Catalog(format!(
+                        "pragma {name:?} does not take a value"
+                    )));
+                }
+                match mduck_sql::introspect::pragma(name)? {
+                    Some((schema, rows)) => Ok(RowQueryResult { schema, rows }),
+                    None => Err(SqlError::Catalog(format!("unknown pragma {name:?}"))),
+                }
+            }
             Statement::CreateTable { name, columns, if_not_exists } => {
                 let registry = self.registry.read();
                 let mut cols = Vec::with_capacity(columns.len());

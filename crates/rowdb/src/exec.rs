@@ -763,23 +763,13 @@ pub fn execute_select(
             }
             keyed.push((keys, row));
         }
+        let mut cmp_err = None;
         keyed.sort_by(|(a, _), (b, _)| {
-            for ((x, y), o) in a.iter().zip(b).zip(&plan.order_by) {
-                let ord = match x.sql_cmp(y) {
-                    Some(ord) => ord,
-                    None => match (x.is_null(), y.is_null()) {
-                        (true, false) => std::cmp::Ordering::Greater,
-                        (false, true) => std::cmp::Ordering::Less,
-                        _ => std::cmp::Ordering::Equal,
-                    },
-                };
-                let ord = if o.asc { ord } else { ord.reverse() };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
+            mduck_sql::cmp_order_keys(a, b, &plan.order_by, &mut cmp_err)
         });
+        if let Some(e) = cmp_err {
+            return Err(e);
+        }
         out_rows = keyed.into_iter().map(|(_, r)| r).collect();
     }
 

@@ -43,10 +43,12 @@ pub enum Statement {
         /// with actual per-operator timings and cardinalities.
         analyze: bool,
     },
-    /// `PRAGMA <name>`: engine introspection (`metrics`, `reset_metrics`,
-    /// `reset_spans`).
+    /// `PRAGMA <name>` / `PRAGMA <name> = <int>`: engine introspection
+    /// (`metrics`, `reset_metrics`, `reset_spans`) and engine settings
+    /// (`threads`, `threads = N`).
     Pragma {
         name: String,
+        value: Option<i64>,
     },
 }
 

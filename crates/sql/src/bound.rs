@@ -250,6 +250,50 @@ pub struct BoundOrder {
     pub asc: bool,
 }
 
+/// Compare two ORDER BY key vectors under `order` — the one comparator
+/// shared by both engines, so ordering semantics (and ordering *errors*)
+/// are identical everywhere.
+///
+/// NULLs sort last ascending / first descending. A pair of **non-null**
+/// values that [`Value::sql_cmp`] refuses to order (incompatible types,
+/// or a NaN float) is a type error, not a silent tie: the first such
+/// pair is recorded in `err` and reported as `Equal` so the sort can run
+/// to completion, after which the caller fails the statement with the
+/// recorded error.
+pub fn cmp_order_keys(
+    a: &[Value],
+    b: &[Value],
+    order: &[BoundOrder],
+    err: &mut Option<crate::error::SqlError>,
+) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    for ((x, y), o) in a.iter().zip(b).zip(order) {
+        let ord = match x.sql_cmp(y) {
+            Some(ord) => ord,
+            None => match (x.is_null(), y.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => {
+                    if err.is_none() {
+                        *err = Some(crate::error::SqlError::Type(format!(
+                            "ORDER BY cannot compare {} with {}",
+                            x.logical_type().name(),
+                            y.logical_type().name()
+                        )));
+                    }
+                    Ordering::Equal
+                }
+            },
+        };
+        let ord = if o.asc { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
 /// A bound FROM item.
 #[derive(Debug, Clone)]
 pub enum BoundFrom {

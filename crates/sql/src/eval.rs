@@ -33,6 +33,11 @@ impl<'a> OuterStack<'a> {
         OuterStack { frames }
     }
 
+    /// True when there is no correlated outer context (top-level query).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
     fn get(&self, depth: usize, index: usize) -> SqlResult<&Value> {
         let n = self.frames.len();
         if depth == 0 || depth > n {

@@ -9,8 +9,7 @@
 //! [`ExecGuard::enter_subquery`] at plan-recursion points. Any exceeded
 //! budget surfaces as [`SqlError::ResourceExhausted`].
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -75,17 +74,19 @@ impl CancelHandle {
 /// bounding timeout slack to a few chunks.
 const DEADLINE_STRIDE: u32 = 8;
 
-/// The per-statement guard. Cheap to create; not `Sync` (one per query
-/// execution), but cancellation is observed from any thread through the
-/// shared [`CancelHandle`].
+/// The per-statement guard. Cheap to create, and `Sync`: one guard is
+/// shared by reference between the coordinating thread and every morsel
+/// worker, so the row budget, deadline, and cancellation are global to
+/// the statement no matter how many threads execute it.
 #[derive(Debug)]
 pub struct ExecGuard {
     cancel: CancelHandle,
     deadline: Option<Instant>,
-    rows_remaining: Cell<Option<u64>>,
-    subquery_depth: Cell<usize>,
+    /// Remaining row budget; `None` means unlimited.
+    rows_remaining: Option<AtomicU64>,
+    subquery_depth: AtomicUsize,
     max_subquery_depth: usize,
-    ticks: Cell<u32>,
+    ticks: AtomicU32,
 }
 
 impl Default for ExecGuard {
@@ -99,10 +100,10 @@ impl ExecGuard {
         ExecGuard {
             cancel: CancelHandle::default(),
             deadline: limits.timeout.map(|t| Instant::now() + t),
-            rows_remaining: Cell::new(limits.row_budget),
-            subquery_depth: Cell::new(0),
+            rows_remaining: limits.row_budget.map(AtomicU64::new),
+            subquery_depth: AtomicUsize::new(0),
             max_subquery_depth: limits.max_subquery_depth,
-            ticks: Cell::new(0),
+            ticks: AtomicU32::new(0),
         }
     }
 
@@ -114,16 +115,21 @@ impl ExecGuard {
     /// Charge `n` rows against the budget and poll deadline/cancellation.
     /// Call at chunk boundaries.
     pub fn check_rows(&self, n: usize) -> SqlResult<()> {
-        if let Some(remaining) = self.rows_remaining.get() {
+        if let Some(remaining) = &self.rows_remaining {
             let n = n as u64;
-            if remaining < n {
-                self.rows_remaining.set(Some(0));
+            // Atomic checked subtraction: concurrent workers each charge
+            // their own chunks against the one shared budget. On trip the
+            // counter is pinned at 0 so the guard stays tripped.
+            if remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(n))
+                .is_err()
+            {
+                remaining.store(0, Ordering::Relaxed);
                 mduck_obs::metrics().guard_trip_row_budget.inc(1);
                 return Err(SqlError::resource_exhausted(
                     "query exceeded its row budget",
                 ));
             }
-            self.rows_remaining.set(Some(remaining - n));
         }
         self.tick()
     }
@@ -134,8 +140,7 @@ impl ExecGuard {
             mduck_obs::metrics().guard_trip_cancel.inc(1);
             return Err(SqlError::resource_exhausted("query canceled"));
         }
-        let t = self.ticks.get().wrapping_add(1);
-        self.ticks.set(t);
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
         // Always check on the first tick (so a statement with few chunk
         // boundaries still observes an already-expired deadline), then
         // every DEADLINE_STRIDE-th to keep Instant::now() off hot loops.
@@ -161,23 +166,25 @@ impl ExecGuard {
     /// Enter one level of subquery execution; pair with
     /// [`ExecGuard::exit_subquery`].
     pub fn enter_subquery(&self) -> SqlResult<()> {
-        let d = self.subquery_depth.get() + 1;
+        let d = self.subquery_depth.fetch_add(1, Ordering::Relaxed) + 1;
         if d > self.max_subquery_depth {
+            self.exit_subquery();
             mduck_obs::metrics().guard_trip_depth.inc(1);
             return Err(SqlError::resource_exhausted(format!(
                 "subquery nesting exceeds {} levels",
                 self.max_subquery_depth
             )));
         }
-        self.subquery_depth.set(d);
         // Correlated subqueries re-enter the executor per outer row; the
         // deadline must stay live even if every inner chunk is tiny.
         self.tick()
     }
 
     pub fn exit_subquery(&self) {
-        let d = self.subquery_depth.get();
-        self.subquery_depth.set(d.saturating_sub(1));
+        // Saturating decrement (an unmatched exit must not underflow).
+        let _ = self.subquery_depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+            Some(d.saturating_sub(1))
+        });
     }
 }
 
@@ -218,6 +225,25 @@ mod tests {
         assert!(g.tick().is_ok());
         h.cancel();
         assert!(matches!(g.tick(), Err(SqlError::ResourceExhausted(_))));
+    }
+
+    #[test]
+    fn budget_is_shared_across_threads() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<ExecGuard>();
+        let g = ExecGuard::new(&ExecLimits::default().with_row_budget(1000));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        let _ = g.check_rows(30);
+                    }
+                });
+            }
+        });
+        // 4 workers × 10 × 30 = 1200 rows charged against a shared budget
+        // of 1000: the guard must have tripped and must stay tripped.
+        assert!(g.check_rows(1).is_err());
     }
 
     #[test]

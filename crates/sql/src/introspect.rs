@@ -84,6 +84,18 @@ fn status_result(status: &str) -> (Schema, Vec<Vec<Value>>) {
     (schema, vec![vec![Value::Text(status.into())]])
 }
 
+/// Result of `PRAGMA threads [= N]`: one row with the thread count the
+/// engine will actually use. Shared so both engines answer with the
+/// identical schema (the row engine always reports 1).
+pub fn threads_result(effective: usize) -> (Schema, Vec<Vec<Value>>) {
+    let schema = Schema::new(vec![Field {
+        name: "threads".into(),
+        table: None,
+        ty: LogicalType::Int,
+    }]);
+    (schema, vec![vec![Value::Int(effective as i64)]])
+}
+
 /// Resolve a `PRAGMA <name>` statement. Returns `None` for unknown names
 /// so the calling engine can produce its own error message.
 pub fn pragma(name: &str) -> SqlResult<Option<(Schema, Vec<Vec<Value>>)>> {

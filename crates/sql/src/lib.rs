@@ -26,12 +26,12 @@ pub mod value;
 pub use ast::{BinaryOp, Expr, InsertSource, SelectStmt, Statement, TableRef};
 pub use binder::Binder;
 pub use bound::{
-    split_conjuncts, BoundAggregate, BoundExpr, BoundFrom, BoundOrder, BoundSelect, Catalog,
-    Field, Schema, SortKey,
+    cmp_order_keys, split_conjuncts, BoundAggregate, BoundExpr, BoundFrom, BoundOrder,
+    BoundSelect, Catalog, Field, Schema, SortKey,
 };
 pub use error::{SqlError, SqlResult};
 pub use eval::{compare, eval, OuterStack, SubqueryExec};
 pub use guard::{CancelHandle, ExecGuard, ExecLimits};
 pub use parser::{parse_script, parse_statement};
-pub use registry::{AggState, Registry, ScalarFn, ScalarSig};
+pub use registry::{downcast_partial, AggState, Registry, ScalarFn, ScalarSig};
 pub use value::{ExtObject, ExtValue, LogicalType, Value};

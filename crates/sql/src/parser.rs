@@ -157,7 +157,20 @@ impl Parser {
         if self.peek().is_kw("pragma") {
             self.pos += 1;
             let name = self.ident()?.to_ascii_lowercase();
-            return Ok(Statement::Pragma { name });
+            let value = if matches!(self.peek(), Token::Symbol("=")) {
+                self.pos += 1;
+                let neg = matches!(self.peek(), Token::Symbol("-"));
+                if neg {
+                    self.pos += 1;
+                }
+                match self.next() {
+                    Token::Integer(n) => Some(if neg { -n } else { n }),
+                    t => return Err(self.error(&format!("expected integer after '=', got {t:?}"))),
+                }
+            } else {
+                None
+            };
+            return Ok(Statement::Pragma { name, value });
         }
         if self.peek().is_kw("select") || self.peek().is_kw("with") {
             return Ok(Statement::Select(self.select_stmt()?));
@@ -993,10 +1006,16 @@ mod tests {
     #[test]
     fn pragma_statements_parse() {
         let st = parse_statement("PRAGMA metrics").unwrap();
-        assert_eq!(st, Statement::Pragma { name: "metrics".into() });
+        assert_eq!(st, Statement::Pragma { name: "metrics".into(), value: None });
         let st = parse_statement("pragma Reset_Metrics;").unwrap();
-        assert_eq!(st, Statement::Pragma { name: "reset_metrics".into() });
+        assert_eq!(st, Statement::Pragma { name: "reset_metrics".into(), value: None });
+        let st = parse_statement("PRAGMA threads = 4").unwrap();
+        assert_eq!(st, Statement::Pragma { name: "threads".into(), value: Some(4) });
+        let st = parse_statement("PRAGMA threads = -1").unwrap();
+        assert_eq!(st, Statement::Pragma { name: "threads".into(), value: Some(-1) });
         assert!(parse_statement("PRAGMA").is_err());
+        assert!(parse_statement("PRAGMA threads =").is_err());
+        assert!(parse_statement("PRAGMA threads = x").is_err());
     }
 
     #[test]

@@ -91,6 +91,56 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A lock-free work queue for morsel-driven parallelism: `n` units of
+/// work (morsel indexes `0..n`), claimed one at a time by any number of
+/// worker threads via an atomic cursor. Once a worker hits an error it
+/// calls [`MorselQueue::stop`] so the rest of the fleet drains quickly
+/// instead of finishing the whole input.
+#[derive(Debug)]
+pub struct MorselQueue {
+    next: std::sync::atomic::AtomicUsize,
+    stop: std::sync::atomic::AtomicBool,
+    n: usize,
+}
+
+impl MorselQueue {
+    pub fn new(n: usize) -> Self {
+        MorselQueue {
+            next: std::sync::atomic::AtomicUsize::new(0),
+            stop: std::sync::atomic::AtomicBool::new(false),
+            n,
+        }
+    }
+
+    /// Claim the next unclaimed morsel index, or `None` when the queue is
+    /// exhausted or stopped. Each index is handed out exactly once.
+    pub fn claim(&self) -> Option<usize> {
+        if self.stopped() {
+            return None;
+        }
+        let i = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (i < self.n).then_some(i)
+    }
+
+    /// Ask all workers to stop claiming (used on first error / guard trip).
+    pub fn stop(&self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn stopped(&self) -> bool {
+        self.stop.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total number of morsels this queue was created with.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +174,36 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(*m.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn morsel_queue_hands_out_each_index_once() {
+        let q = MorselQueue::new(1000);
+        let claimed = Mutex::new(vec![false; 1000]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(i) = q.claim() {
+                        let mut c = claimed.lock();
+                        assert!(!c[i], "morsel {i} claimed twice");
+                        c[i] = true;
+                    }
+                });
+            }
+        });
+        assert!(claimed.lock().iter().all(|b| *b), "some morsel never claimed");
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn morsel_queue_stop_drains() {
+        let q = MorselQueue::new(10);
+        assert_eq!(q.claim(), Some(0));
+        q.stop();
+        assert_eq!(q.claim(), None);
+        assert!(q.stopped());
+        assert_eq!(MorselQueue::new(0).claim(), None);
+        assert!(MorselQueue::new(0).is_empty());
+        assert_eq!(q.len(), 10);
     }
 }

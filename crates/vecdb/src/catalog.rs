@@ -72,20 +72,30 @@ impl Table {
     }
 
     /// The table as execution chunks.
-    pub fn scan_chunks(&self) -> Chunks {
+    /// Number of [`VECTOR_SIZE`] chunks a full scan of this table yields.
+    pub fn chunk_count(&self) -> usize {
+        self.row_count().div_ceil(VECTOR_SIZE)
+    }
+
+    /// Materialize the `i`-th scan chunk (rows `i*VECTOR_SIZE ..`). The
+    /// unit of work a morsel worker claims during a parallel scan.
+    pub fn chunk_at(&self, i: usize) -> DataChunk {
         let n = self.row_count();
+        let start = i * VECTOR_SIZE;
+        let len = VECTOR_SIZE.min(n.saturating_sub(start));
+        let mut cols = Vec::with_capacity(self.columns.len());
+        for c in &self.columns {
+            let mut nc = ColumnData::new(&c.ty);
+            nc.extend_from(c, start, len);
+            cols.push(nc);
+        }
+        DataChunk::from_columns(cols)
+    }
+
+    pub fn scan_chunks(&self) -> Chunks {
         let mut out = Chunks::default();
-        let mut start = 0;
-        while start < n {
-            let len = VECTOR_SIZE.min(n - start);
-            let mut cols = Vec::with_capacity(self.columns.len());
-            for c in &self.columns {
-                let mut nc = ColumnData::new(&c.ty);
-                nc.extend_from(c, start, len);
-                cols.push(nc);
-            }
-            out.chunks.push(DataChunk::from_columns(cols));
-            start += len;
+        for i in 0..self.chunk_count() {
+            out.chunks.push(self.chunk_at(i));
         }
         out
     }

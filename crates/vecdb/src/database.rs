@@ -14,8 +14,14 @@ use mduck_sql::{
 
 use crate::catalog::{DbCatalog, Table};
 use crate::exec::{execute_select, execute_select_planned, plan_joins, plan_key, EngineCtx};
-use crate::explain::{op_breakdown, render_plan, render_plan_analyzed, AnalyzeData, OpBreakdown};
+use crate::explain::{
+    op_breakdown, render_plan, render_plan_analyzed, stage_breakdown, AnalyzeData, OpBreakdown,
+    StageBreakdown,
+};
 use crate::index::IndexTypeRegistry;
+
+/// Hard ceiling on the worker pool size (sanity bound for PRAGMA input).
+const MAX_THREADS: usize = 256;
 
 /// A query result: output schema plus materialized rows.
 #[derive(Debug, Clone)]
@@ -94,6 +100,8 @@ pub struct Database {
     registry: Arc<RwLock<Registry>>,
     index_types: Arc<RwLock<IndexTypeRegistry>>,
     limits: RwLock<ExecLimits>,
+    /// Worker threads for morsel-driven execution; 0 = auto-detect.
+    threads: std::sync::atomic::AtomicUsize,
 }
 
 impl Default for Database {
@@ -110,7 +118,37 @@ impl Database {
             registry: Arc::new(RwLock::new(Registry::with_builtins())),
             index_types: Arc::new(RwLock::new(IndexTypeRegistry::default())),
             limits: RwLock::new(ExecLimits::default()),
+            threads: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Set the worker-thread count for morsel-driven execution; `0`
+    /// restores auto-detection. Equivalent to `PRAGMA threads = N`.
+    pub fn set_threads(&self, n: usize) {
+        self.threads.store(n.min(MAX_THREADS), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The configured thread count (`0` = auto-detect).
+    pub fn threads(&self) -> usize {
+        self.threads.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The thread count statements actually execute with: the configured
+    /// value, or (when auto) the `MDUCK_THREADS` environment variable,
+    /// or `std::thread::available_parallelism`.
+    pub fn effective_threads(&self) -> usize {
+        let configured = self.threads();
+        if configured > 0 {
+            return configured;
+        }
+        if let Ok(v) = std::env::var("MDUCK_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n.min(MAX_THREADS);
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_THREADS)
     }
 
     /// Set the resource limits applied to every subsequent statement.
@@ -231,7 +269,8 @@ impl Database {
                     binder.bind_select(sel)?
                 };
                 m.vecdb_bind_ns.observe(bind_start.elapsed().as_nanos() as u64);
-                let ctx = EngineCtx::new(&self.catalog, &registry, guard);
+                let ctx = EngineCtx::new(&self.catalog, &registry, guard)
+                    .with_threads(self.effective_threads());
                 let rows = if plan.from.is_empty() {
                     let _s = mduck_obs::span("vecdb.exec");
                     let exec_start = Instant::now();
@@ -282,10 +321,7 @@ impl Database {
                     rows: vec![vec![Value::text(text)]],
                 })
             }
-            Statement::Pragma { name } => match mduck_sql::introspect::pragma(name)? {
-                Some((schema, rows)) => Ok(QueryResult { schema, rows }),
-                None => Err(SqlError::Catalog(format!("unknown pragma {name:?}"))),
-            },
+            Statement::Pragma { name, value } => self.run_pragma(name, *value),
             Statement::CreateTable { name, columns, if_not_exists } => {
                 let registry = self.registry.read();
                 let mut cols = Vec::with_capacity(columns.len());
@@ -339,6 +375,30 @@ impl Database {
         }
     }
 
+    /// `PRAGMA threads [= N]` is an engine setting; everything else is
+    /// shared introspection.
+    fn run_pragma(&self, name: &str, value: Option<i64>) -> SqlResult<QueryResult> {
+        if name == "threads" {
+            if let Some(v) = value {
+                if !(0..=MAX_THREADS as i64).contains(&v) {
+                    return Err(SqlError::OutOfRange(format!(
+                        "PRAGMA threads expects 0..={MAX_THREADS}, got {v}"
+                    )));
+                }
+                self.set_threads(v as usize);
+            }
+            let (schema, rows) = mduck_sql::introspect::threads_result(self.effective_threads());
+            return Ok(QueryResult { schema, rows });
+        }
+        if value.is_some() {
+            return Err(SqlError::Catalog(format!("pragma {name:?} does not take a value")));
+        }
+        match mduck_sql::introspect::pragma(name)? {
+            Some((schema, rows)) => Ok(QueryResult { schema, rows }),
+            None => Err(SqlError::Catalog(format!("unknown pragma {name:?}"))),
+        }
+    }
+
     /// Execute a SELECT with per-operator profiling enabled and return the
     /// result alongside the analyzed plan rendering and a flattened
     /// per-operator breakdown (the programmatic `EXPLAIN ANALYZE`).
@@ -367,7 +427,8 @@ impl Database {
             binder.bind_select(sel)?
         };
         m.vecdb_bind_ns.observe(bind_start.elapsed().as_nanos() as u64);
-        let mut ctx = EngineCtx::new(&self.catalog, &registry, guard);
+        let mut ctx = EngineCtx::new(&self.catalog, &registry, guard)
+            .with_threads(self.effective_threads());
         ctx.enable_profiling();
         let plan_start = Instant::now();
         let (tree, remaining) = {
@@ -395,10 +456,12 @@ impl Database {
         };
         let explain = render_plan_analyzed(&plan, &tree, &remaining, &analyze);
         let operators = op_breakdown(&tree, profile);
+        let stages = stage_breakdown(plan_key(&plan), profile);
         Ok(ProfiledQuery {
             result: QueryResult { schema: plan.output_schema.clone(), rows },
             explain,
             operators,
+            stages,
             total_ms,
         })
     }
@@ -464,7 +527,8 @@ impl Database {
             InsertSource::Select(sel) => {
                 let mut binder = Binder::new(&self.catalog, &registry);
                 let plan = binder.bind_select(sel)?;
-                let ctx = EngineCtx::new(&self.catalog, &registry, guard);
+                let ctx = EngineCtx::new(&self.catalog, &registry, guard)
+                    .with_threads(self.effective_threads());
                 execute_select(&ctx, &plan, &OuterStack::EMPTY)?
             }
         };
@@ -613,6 +677,9 @@ pub struct ProfiledQuery {
     pub explain: String,
     /// Flattened (preorder) per-operator actuals of the join/scan tree.
     pub operators: Vec<OpBreakdown>,
+    /// Post-join stage actuals (aggregate, projection, order_by, ...) of
+    /// the top-level plan.
+    pub stages: Vec<StageBreakdown>,
     /// End-to-end execution wall time.
     pub total_ms: f64,
 }

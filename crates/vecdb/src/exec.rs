@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mduck_sql::ast::BinaryOp;
-use mduck_sql::eval::{eval, OuterStack, SubqueryExec};
+use mduck_sql::eval::{eval, NoSubqueries, OuterStack, SubqueryExec};
 use mduck_sql::{
     split_conjuncts, BoundExpr, BoundFrom, BoundSelect, ExecGuard, LogicalType, Registry,
     SortKey, SqlError, SqlResult, Value,
@@ -21,6 +21,7 @@ use mduck_sql::{
 use crate::catalog::DbCatalog;
 use crate::column::{Chunks, ColumnData, DataChunk, VECTOR_SIZE};
 use crate::expr::{eval_vector, filter_chunk};
+use crate::parallel::{contiguous_ranges, morsel_map, ParStats, MIN_PARALLEL_MORSELS};
 
 /// Shared execution context for one statement.
 pub struct EngineCtx<'a> {
@@ -38,6 +39,9 @@ pub struct EngineCtx<'a> {
     /// Per-operator/per-stage actuals, populated only under
     /// `EXPLAIN ANALYZE` (see [`EngineCtx::enable_profiling`]).
     pub profile: Option<Profile>,
+    /// Worker threads for morsel-driven execution (1 = serial). Set from
+    /// the database's `PRAGMA threads` / config knob.
+    pub threads: usize,
 }
 
 /// Actuals recorded for one physical operator across all its executions
@@ -62,13 +66,33 @@ pub struct StageProf {
     pub rows_out: u64,
 }
 
+/// Actuals of one *parallel* stage, aggregated across workers and (for
+/// re-executed subplans) across executions.
+#[derive(Debug, Default, Clone)]
+pub struct ParProf {
+    pub execs: u64,
+    /// Maximum worker count observed.
+    pub workers: u64,
+    /// Summed per-worker busy time across all executions.
+    pub busy_ns: u64,
+    /// Busy time of the slowest worker of any execution.
+    pub max_worker_ns: u64,
+    /// Total morsels dispatched.
+    pub morsels: u64,
+    /// Per-worker morsel counts of the most recent execution.
+    pub per_worker: Vec<u64>,
+}
+
 /// Profiling sink for `EXPLAIN ANALYZE`. Operators are keyed by node
 /// address within the physical tree (stable for the duration of one
-/// execution), stages by the owning plan's address plus stage name.
+/// execution), stages by the owning plan's address plus stage name;
+/// parallel actuals share the stage keying (operator address + stage
+/// name for tree nodes).
 #[derive(Debug, Default)]
 pub struct Profile {
     pub ops: RefCell<HashMap<usize, OpProf>>,
     pub stages: RefCell<HashMap<(usize, &'static str), StageProf>>,
+    pub parallel: RefCell<HashMap<(usize, &'static str), ParProf>>,
 }
 
 /// The opaque profiling key of a physical operator node.
@@ -91,7 +115,22 @@ impl<'a> EngineCtx<'a> {
             rows_scanned: RefCell::new(0),
             used_index_scan: RefCell::new(false),
             profile: None,
+            threads: 1,
         }
+    }
+
+    /// Builder: set the worker-thread count for this statement.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// True when a stage may fan out to the worker pool: more than one
+    /// thread configured and no correlated outer context (workers use
+    /// [`NoSubqueries`] and cannot see outer rows; per-stage gating
+    /// additionally requires the expressions involved to be non-complex).
+    pub fn parallel_ok(&self, outer: &OuterStack<'_>) -> bool {
+        self.threads > 1 && outer.is_empty()
     }
 
     /// Turn on per-operator/per-stage actuals (`EXPLAIN ANALYZE`).
@@ -106,6 +145,21 @@ impl<'a> EngineCtx<'a> {
             e.execs += 1;
             e.elapsed_ns += start.elapsed().as_nanos() as u64;
             e.rows_out += rows as u64;
+        }
+    }
+
+    /// Record the worker-pool actuals of one parallel stage execution
+    /// under `(plan-or-op key, stage name)`.
+    fn record_parallel(&self, key: usize, name: &'static str, stats: &ParStats) {
+        if let Some(p) = &self.profile {
+            let mut par = p.parallel.borrow_mut();
+            let e = par.entry((key, name)).or_default();
+            e.execs += 1;
+            e.workers = e.workers.max(stats.workers as u64);
+            e.busy_ns += stats.busy_ns;
+            e.max_worker_ns = e.max_worker_ns.max(stats.max_worker_ns);
+            e.morsels += stats.morsels();
+            e.per_worker = stats.morsels_per_worker.clone();
         }
     }
 }
@@ -475,7 +529,26 @@ fn run_op(
             let t = t.read();
             mduck_obs::metrics().full_scans.inc(1);
             note_scanned(ctx, op, t.row_count())?;
-            Ok(t.scan_chunks())
+            let n = t.chunk_count();
+            if ctx.parallel_ok(outer) && n >= MIN_PARALLEL_MORSELS {
+                // Parallel materialization: each morsel is one chunk range
+                // of the column store, claimed dynamically and reassembled
+                // in row order.
+                let guard = ctx.guard;
+                let table = &*t;
+                let (chunks, stats) = morsel_map(ctx.threads, n, |i| {
+                    guard.tick()?;
+                    Ok(table.chunk_at(i))
+                })?;
+                if let Some(stats) = &stats {
+                    ctx.record_parallel(op_key(op), "scan", stats);
+                }
+                let mut out = Chunks::default();
+                out.chunks = chunks;
+                Ok(out)
+            } else {
+                Ok(t.scan_chunks())
+            }
         }
         PhysOp::IndexScan { table, index: _, op: iop, constant, fallback } => {
             let t = ctx.catalog.get(table)?;
@@ -499,7 +572,7 @@ fn run_op(
                     mduck_obs::metrics().full_scans.inc(1);
                     note_scanned(ctx, op, t.row_count())?;
                     let chunks = t.scan_chunks();
-                    filter_chunks(ctx, chunks, fallback, outer, &exec)
+                    filter_chunks(ctx, chunks, fallback, outer, &exec, op_key(op))
                 }
             }
         }
@@ -560,7 +633,7 @@ fn run_op(
         }
         PhysOp::Filter { pred, child } => {
             let input = execute_op(ctx, child, outer)?;
-            filter_chunks(ctx, input, pred, outer, &exec)
+            filter_chunks(ctx, input, pred, outer, &exec, op_key(op))
         }
         PhysOp::CrossJoin { left, right } => {
             let l = execute_op(ctx, left, outer)?;
@@ -575,13 +648,54 @@ fn run_op(
     }
 }
 
+/// Apply `pred` across all chunks. `key` names the owning operator or
+/// plan for parallel actuals. Fans out to the morsel pool when the
+/// statement allows it and the predicate carries no subqueries (workers
+/// evaluate with [`NoSubqueries`] and an empty outer stack).
 fn filter_chunks(
     ctx: &EngineCtx<'_>,
     input: Chunks,
     pred: &BoundExpr,
     outer: &OuterStack<'_>,
     exec: &dyn SubqueryExec,
+    key: usize,
 ) -> SqlResult<Chunks> {
+    if ctx.parallel_ok(outer)
+        && !pred.is_complex()
+        && input.chunks.len() >= MIN_PARALLEL_MORSELS
+    {
+        let guard = ctx.guard;
+        let chunks = &input.chunks;
+        let (results, stats) = morsel_map(ctx.threads, chunks.len(), |i| {
+            guard.tick()?;
+            let chunk = &chunks[i];
+            let sel = filter_chunk(pred, chunk, &OuterStack::EMPTY, &NoSubqueries)?;
+            let dropped = (chunk.len - sel.len()) as u64;
+            let kept = if sel.len() == chunk.len {
+                Some(chunk.clone())
+            } else if sel.is_empty() {
+                None
+            } else {
+                Some(chunk.select(&sel))
+            };
+            Ok((kept, dropped))
+        })?;
+        if let Some(stats) = &stats {
+            ctx.record_parallel(key, "filter", stats);
+        }
+        // Per-worker counters are merged by the coordinator and flushed
+        // into the global registry exactly once per stage.
+        let mut counters = mduck_obs::WorkerCounters::default();
+        let mut out = Chunks::default();
+        for (kept, dropped) in results {
+            counters.rows_filtered += dropped;
+            if let Some(c) = kept {
+                out.chunks.push(c);
+            }
+        }
+        counters.flush();
+        return Ok(out);
+    }
     let mut out = Chunks::default();
     let mut dropped = 0u64;
     for chunk in &input.chunks {
@@ -788,7 +902,7 @@ fn execute_select_inner(
         if !remaining.is_empty() {
             let t = Instant::now();
             for pred in remaining {
-                chunks = filter_chunks(ctx, chunks, pred, outer, &exec)?;
+                chunks = filter_chunks(ctx, chunks, pred, outer, &exec, plan_key(plan))?;
             }
             ctx.record_stage(plan, "filter", t, chunks.row_count());
         }
@@ -828,19 +942,53 @@ fn execute_select_inner(
         .iter()
         .any(|o| matches!(o.key, SortKey::Input(_)));
     if env_is_input {
-        for chunk in &input.chunks {
-            ctx.guard.check_rows(chunk.len)?;
-            // Vectorized projection straight off the input chunks.
-            let proj_cols: SqlResult<Vec<ColumnData>> = plan
-                .projections
-                .iter()
-                .map(|p| eval_vector(p, chunk, outer, &exec))
-                .collect();
-            let proj_cols = proj_cols?;
-            for i in 0..chunk.len {
-                out_rows.push(proj_cols.iter().map(|c| c.get(i)).collect());
-                if needs_env {
-                    env_kept.push(chunk.row(i));
+        let simple = plan.projections.iter().all(|p| !p.is_complex());
+        if ctx.parallel_ok(outer) && simple && input.chunks.len() >= MIN_PARALLEL_MORSELS {
+            // Parallel projection: each worker projects whole chunks into
+            // row vectors, reassembled in chunk order.
+            let guard = ctx.guard;
+            let chunks = &input.chunks;
+            let projections = &plan.projections;
+            let (parts, stats) = morsel_map(ctx.threads, chunks.len(), |ci| {
+                let chunk = &chunks[ci];
+                guard.check_rows(chunk.len)?;
+                let proj_cols: SqlResult<Vec<ColumnData>> = projections
+                    .iter()
+                    .map(|p| eval_vector(p, chunk, &OuterStack::EMPTY, &NoSubqueries))
+                    .collect();
+                let proj_cols = proj_cols?;
+                let mut rows: Vec<Vec<Value>> = Vec::with_capacity(chunk.len);
+                let mut env: Vec<Vec<Value>> = Vec::new();
+                for i in 0..chunk.len {
+                    rows.push(proj_cols.iter().map(|c| c.get(i)).collect());
+                    if needs_env {
+                        env.push(chunk.row(i));
+                    }
+                }
+                Ok((rows, env))
+            })?;
+            if let Some(stats) = &stats {
+                ctx.record_parallel(plan_key(plan), "projection", stats);
+            }
+            for (rows, env) in parts {
+                out_rows.extend(rows);
+                env_kept.extend(env);
+            }
+        } else {
+            for chunk in &input.chunks {
+                ctx.guard.check_rows(chunk.len)?;
+                // Vectorized projection straight off the input chunks.
+                let proj_cols: SqlResult<Vec<ColumnData>> = plan
+                    .projections
+                    .iter()
+                    .map(|p| eval_vector(p, chunk, outer, &exec))
+                    .collect();
+                let proj_cols = proj_cols?;
+                for i in 0..chunk.len {
+                    out_rows.push(proj_cols.iter().map(|c| c.get(i)).collect());
+                    if needs_env {
+                        env_kept.push(chunk.row(i));
+                    }
                 }
             }
         }
@@ -886,44 +1034,31 @@ fn execute_select_inner(
         ctx.record_stage(plan, "distinct", t, out_rows.len());
     }
 
-    // 7. ORDER BY.
+    // 7. ORDER BY. Rows are *moved* into the keyed vector and moved back
+    // out after sorting — the sort permutation is applied without cloning
+    // a single output row.
     if !plan.order_by.is_empty() {
         let t = Instant::now();
-        let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(out_rows.len());
-        for i in 0..out_rows.len() {
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(out_rows.len());
+        for (i, row) in out_rows.into_iter().enumerate() {
             let mut keys = Vec::with_capacity(plan.order_by.len());
             for o in &plan.order_by {
                 let v = match &o.key {
-                    SortKey::Output(j) => out_rows[i][*j].clone(),
+                    SortKey::Output(j) => row[*j].clone(),
                     SortKey::Input(e) => eval(e, &env_kept[i], outer, &exec)?,
                 };
                 keys.push(v);
             }
-            keyed.push((keys, i));
+            keyed.push((keys, row));
         }
+        let mut cmp_err = None;
         keyed.sort_by(|(a, _), (b, _)| {
-            for (k, o) in a.iter().zip(b).zip(&plan.order_by).map(|((x, y), o)| ((x, y), o)) {
-                let ((x, y), o) = (k, o);
-                let ord = match x.sql_cmp(y) {
-                    Some(ord) => ord,
-                    None => {
-                        // NULLs last (ascending), first (descending).
-                        match (x.is_null(), y.is_null()) {
-                            (true, true) => std::cmp::Ordering::Equal,
-                            (true, false) => std::cmp::Ordering::Greater,
-                            (false, true) => std::cmp::Ordering::Less,
-                            (false, false) => std::cmp::Ordering::Equal,
-                        }
-                    }
-                };
-                let ord = if o.asc { ord } else { ord.reverse() };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
+            mduck_sql::cmp_order_keys(a, b, &plan.order_by, &mut cmp_err)
         });
-        out_rows = keyed.into_iter().map(|(_, i)| out_rows[i].clone()).collect();
+        if let Some(e) = cmp_err {
+            return Err(e);
+        }
+        out_rows = keyed.into_iter().map(|(_, row)| row).collect();
         ctx.record_stage(plan, "order_by", t, out_rows.len());
     }
 
@@ -964,8 +1099,38 @@ fn materialize_ctes(
     Ok(())
 }
 
+/// One aggregation group, carrying its hash key so partial group sets can
+/// be merged across workers.
+struct Group {
+    key_bytes: Vec<u8>,
+    keys: Vec<Value>,
+    states: Vec<Box<dyn mduck_sql::AggState>>,
+    distinct_seen: Vec<Option<std::collections::HashSet<Vec<u8>>>>,
+}
+
+/// Groups in **first-seen order** — a hash index for lookup plus an
+/// ordered vector. Serial and parallel aggregation both emit groups in
+/// the order the first row of each group appears in the input, which is
+/// what makes two-phase results byte-identical to serial ones.
+#[derive(Default)]
+struct GroupSet {
+    index: HashMap<Vec<u8>, usize>,
+    groups: Vec<Group>,
+}
+
 /// Hash aggregation: returns the environment rows
 /// `[group keys ++ aggregate results]`.
+///
+/// Three execution paths, chosen per statement:
+/// 1. **Two-phase parallel** — every aggregate state supports
+///    [`mduck_sql::AggState::exact_merge`] and none is DISTINCT: workers
+///    fold *contiguous* chunk ranges into partial group sets, merged
+///    serially in range order.
+/// 2. **Hybrid parallel** — some state merges inexactly (float sums) or
+///    is DISTINCT: workers only evaluate group keys / arguments per
+///    chunk; the state fold stays serial in chunk order.
+/// 3. **Serial** — complex expressions (subqueries), correlated context,
+///    or too little input.
 fn aggregate(
     ctx: &EngineCtx<'_>,
     plan: &BoundSelect,
@@ -973,14 +1138,9 @@ fn aggregate(
     outer: &OuterStack<'_>,
 ) -> SqlResult<Vec<Vec<Value>>> {
     let exec = PlanExecutor { ctx };
-    struct Group {
-        keys: Vec<Value>,
-        states: Vec<Box<dyn mduck_sql::AggState>>,
-        distinct_seen: Vec<Option<std::collections::HashSet<Vec<u8>>>>,
-    }
-    let mut groups: HashMap<Vec<u8>, Group> = HashMap::new();
-    let make_group = |keys: Vec<Value>| -> Group {
+    let make_group = |key_bytes: Vec<u8>, keys: Vec<Value>| -> Group {
         Group {
+            key_bytes,
             keys,
             states: plan.aggregates.iter().map(|a| (a.factory)()).collect(),
             distinct_seen: plan
@@ -990,39 +1150,53 @@ fn aggregate(
                 .collect(),
         }
     };
-
-    for chunk in &input.chunks {
-        ctx.guard.check_rows(chunk.len)?;
-        // Vectorized evaluation of group keys and aggregate arguments.
+    // Vectorized evaluation of group keys and aggregate arguments.
+    let eval_cols = |chunk: &DataChunk,
+                     outer: &OuterStack<'_>,
+                     exec: &dyn SubqueryExec|
+     -> SqlResult<(Vec<ColumnData>, Vec<Vec<ColumnData>>)> {
         let key_cols: SqlResult<Vec<ColumnData>> = plan
             .group_by
             .iter()
-            .map(|g| eval_vector(g, chunk, outer, &exec))
+            .map(|g| eval_vector(g, chunk, outer, exec))
             .collect();
-        let key_cols = key_cols?;
         let arg_cols: SqlResult<Vec<Vec<ColumnData>>> = plan
             .aggregates
             .iter()
             .map(|a| {
                 a.args
                     .iter()
-                    .map(|arg| eval_vector(arg, chunk, outer, &exec))
+                    .map(|arg| eval_vector(arg, chunk, outer, exec))
                     .collect()
             })
             .collect();
-        let arg_cols = arg_cols?;
+        Ok((key_cols?, arg_cols?))
+    };
+    // Fold one chunk's evaluated columns into a group set, row by row.
+    let fold_cols = |set: &mut GroupSet,
+                     len: usize,
+                     key_cols: &[ColumnData],
+                     arg_cols: &[Vec<ColumnData>]|
+     -> SqlResult<()> {
         let mut key = Vec::new();
-        for i in 0..chunk.len {
+        for i in 0..len {
             key.clear();
             let mut keys = Vec::with_capacity(key_cols.len());
-            for kc in &key_cols {
+            for kc in key_cols {
                 let v = kc.get(i);
                 v.hash_key(&mut key);
                 keys.push(v);
             }
-            let group = groups
-                .entry(key.clone())
-                .or_insert_with(|| make_group(keys));
+            let gi = match set.index.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    let gi = set.groups.len();
+                    set.index.insert(key.clone(), gi);
+                    set.groups.push(make_group(key.clone(), keys));
+                    gi
+                }
+            };
+            let group = &mut set.groups[gi];
             for (ai, cols) in arg_cols.iter().enumerate() {
                 let args: Vec<Value> = cols.iter().map(|c| c.get(i)).collect();
                 if let Some(seen) = &mut group.distinct_seen[ai] {
@@ -1037,12 +1211,91 @@ fn aggregate(
                 group.states[ai].update(&args)?;
             }
         }
+        Ok(())
+    };
+
+    let n = input.chunks.len();
+    let complex = plan.group_by.iter().any(BoundExpr::is_complex)
+        || plan
+            .aggregates
+            .iter()
+            .any(|a| a.args.iter().any(BoundExpr::is_complex));
+    let parallel = ctx.parallel_ok(outer) && !complex && n >= MIN_PARALLEL_MORSELS;
+    // DISTINCT gates updates *before* they reach the state, so partial
+    // states would double-count across workers — those statements use the
+    // hybrid path, as do aggregates whose merge is not exact (float sums).
+    let two_phase = parallel
+        && !plan.aggregates.iter().any(|a| a.distinct)
+        && plan.aggregates.iter().all(|a| (a.factory)().exact_merge());
+
+    let mut set = GroupSet::default();
+    if two_phase {
+        // Phase 1: contiguous chunk ranges → partial group sets. Ranges
+        // (rather than dynamic single-chunk claiming) keep every state's
+        // update order a subsequence of the serial order.
+        let guard = ctx.guard;
+        let chunks = &input.chunks;
+        let ranges = contiguous_ranges(n, ctx.threads);
+        let (partials, stats) = morsel_map(ctx.threads, ranges.len(), |ri| {
+            let mut part = GroupSet::default();
+            for chunk in &chunks[ranges[ri].clone()] {
+                guard.check_rows(chunk.len)?;
+                let (key_cols, arg_cols) =
+                    eval_cols(chunk, &OuterStack::EMPTY, &NoSubqueries)?;
+                fold_cols(&mut part, chunk.len, &key_cols, &arg_cols)?;
+            }
+            Ok(part)
+        })?;
+        if let Some(stats) = &stats {
+            ctx.record_parallel(plan_key(plan), "aggregate", stats);
+        }
+        // Phase 2: merge partials in range order — group discovery order
+        // and state contents match a serial left-to-right run exactly.
+        for partial in partials {
+            for mut g in partial.groups {
+                match set.index.get(&g.key_bytes) {
+                    Some(&gi) => {
+                        let dst = &mut set.groups[gi];
+                        for (s, o) in dst.states.iter_mut().zip(g.states.iter_mut()) {
+                            s.merge(&mut **o)?;
+                        }
+                    }
+                    None => {
+                        set.index.insert(g.key_bytes.clone(), set.groups.len());
+                        set.groups.push(g);
+                    }
+                }
+            }
+        }
+    } else if parallel {
+        // Hybrid: parallel expression evaluation, serial state fold.
+        let guard = ctx.guard;
+        let chunks = &input.chunks;
+        let (cols, stats) = morsel_map(ctx.threads, n, |i| {
+            let chunk = &chunks[i];
+            guard.check_rows(chunk.len)?;
+            let (key_cols, arg_cols) = eval_cols(chunk, &OuterStack::EMPTY, &NoSubqueries)?;
+            Ok((chunk.len, key_cols, arg_cols))
+        })?;
+        if let Some(stats) = &stats {
+            ctx.record_parallel(plan_key(plan), "aggregate", stats);
+        }
+        for (len, key_cols, arg_cols) in &cols {
+            ctx.guard.tick()?;
+            fold_cols(&mut set, *len, key_cols, arg_cols)?;
+        }
+    } else {
+        for chunk in &input.chunks {
+            ctx.guard.check_rows(chunk.len)?;
+            let (key_cols, arg_cols) = eval_cols(chunk, outer, &exec)?;
+            fold_cols(&mut set, chunk.len, &key_cols, &arg_cols)?;
+        }
     }
 
     // GROUP BY with no groups in the input and no keys still yields one row
     // (global aggregate); with keys it yields nothing.
-    if groups.is_empty() && plan.group_by.is_empty() {
-        let mut g = make_group(Vec::new());
+    if set.groups.is_empty() && plan.group_by.is_empty() {
+        let mut g = make_group(Vec::new(), Vec::new());
         let mut row = Vec::new();
         for s in &mut g.states {
             row.push(s.finalize()?);
@@ -1050,8 +1303,8 @@ fn aggregate(
         return Ok(vec![row]);
     }
 
-    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
-    for (_, mut g) in groups {
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(set.groups.len());
+    for mut g in set.groups {
         let mut row = g.keys;
         for s in &mut g.states {
             row.push(s.finalize()?);

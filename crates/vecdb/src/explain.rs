@@ -105,10 +105,29 @@ fn render(
 }
 
 fn stage_lines(a: &AnalyzeData<'_>, stage: &'static str) -> Vec<String> {
-    match a.profile.stages.borrow().get(&(a.plan_key, stage)) {
+    let mut lines = match a.profile.stages.borrow().get(&(a.plan_key, stage)) {
         Some(s) => vec![
             format!("actual: {:.3} ms", s.elapsed_ns as f64 / 1e6),
             format!("rows: {}", s.rows_out),
+        ],
+        None => Vec::new(),
+    };
+    lines.extend(par_lines(a.profile, a.plan_key, stage));
+    lines
+}
+
+/// Worker-pool actual lines for one parallel stage — emitted only when the
+/// stage actually fanned out, so serial plans render unchanged.
+fn par_lines(profile: &Profile, key: usize, stage: &'static str) -> Vec<String> {
+    match profile.parallel.borrow().get(&(key, stage)) {
+        Some(p) => vec![
+            format!("parallel: {} workers", p.workers),
+            format!("morsels: {} {:?}", p.morsels, p.per_worker),
+            format!(
+                "busy: {:.3} ms (max {:.3})",
+                p.busy_ns as f64 / 1e6,
+                p.max_worker_ns as f64 / 1e6
+            ),
         ],
         None => Vec::new(),
     }
@@ -153,6 +172,11 @@ fn op_lines(a: &AnalyzeData<'_>, op: &PhysOp) -> Vec<String> {
     ];
     if p.execs > 1 {
         lines.push(format!("execs: {}", p.execs));
+    }
+    // Operator-level parallel stages: scans materialize in parallel,
+    // filters (including index-scan fallbacks) evaluate in parallel.
+    for stage in ["scan", "filter"] {
+        lines.extend(par_lines(a.profile, op_key(op), stage));
     }
     lines
 }
@@ -214,6 +238,33 @@ pub struct OpBreakdown {
     pub rows_out: u64,
     pub chunks_out: u64,
     pub rows_scanned: u64,
+}
+
+/// One post-join stage's actuals of the top-level plan (bench exports,
+/// stage-timing assertions in tests).
+#[derive(Debug, Clone)]
+pub struct StageBreakdown {
+    pub stage: &'static str,
+    pub execs: u64,
+    pub elapsed_ms: f64,
+    pub rows_out: u64,
+}
+
+/// Flatten the top-level plan's stage actuals, sorted by stage name.
+pub fn stage_breakdown(plan_key: usize, profile: &Profile) -> Vec<StageBreakdown> {
+    let stages = profile.stages.borrow();
+    let mut out: Vec<StageBreakdown> = stages
+        .iter()
+        .filter(|((k, _), _)| *k == plan_key)
+        .map(|((_, name), s)| StageBreakdown {
+            stage: name,
+            execs: s.execs,
+            elapsed_ms: s.elapsed_ns as f64 / 1e6,
+            rows_out: s.rows_out,
+        })
+        .collect();
+    out.sort_by_key(|s| s.stage);
+    out
 }
 
 /// Flatten an analyzed tree, preorder, into per-operator actuals.

@@ -23,6 +23,7 @@ pub mod exec;
 pub mod explain;
 pub mod expr;
 pub mod index;
+pub mod parallel;
 
 pub use catalog::{DbCatalog, Table};
 pub use column::{Chunks, ColumnData, DataChunk, Payload, VECTOR_SIZE};

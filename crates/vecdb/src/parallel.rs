@@ -1,0 +1,245 @@
+//! Morsel-driven parallel execution.
+//!
+//! The engine splits each stage's input — the list of 2048-row
+//! [`crate::column::DataChunk`]s — into *morsels* (one chunk, or one
+//! contiguous chunk range for order-sensitive aggregation) and dispatches
+//! them to a [`std::thread::scope`] worker pool built on the in-repo
+//! [`mduck_sync::MorselQueue`]. Three invariants make parallel results
+//! byte-identical to the serial engine:
+//!
+//! 1. **Order-preserving reassembly.** Workers claim morsel indexes
+//!    dynamically but tag every result with its input index; the
+//!    coordinator reassembles outputs in input order.
+//! 2. **Exact-only state merging.** Two-phase aggregation is used only
+//!    for states that opt into [`mduck_sql::AggState::exact_merge`]
+//!    (count, min/max, list, string_agg, extent, sequence builders);
+//!    float sums fall back to the hybrid path — parallel expression
+//!    evaluation, serial state folding in chunk order — because IEEE 754
+//!    addition is not associative.
+//! 3. **Shared guard.** The per-statement [`mduck_sql::ExecGuard`] is
+//!    atomic state shared by reference with every worker, so row budget,
+//!    deadline, and cancellation are charged globally; the first error
+//!    stops the queue and the fleet drains.
+//!
+//! Worker panics are contained by the scope join and surfaced as
+//! [`SqlError::Internal`] — never unwrapped.
+
+use std::time::Instant;
+
+use mduck_sql::{SqlError, SqlResult};
+use mduck_sync::MorselQueue;
+
+/// Minimum number of morsels before spinning up the pool is worth it.
+pub const MIN_PARALLEL_MORSELS: usize = 2;
+
+/// Aggregated actuals of one parallel stage execution, fed into
+/// `EXPLAIN ANALYZE` and the metrics registry.
+#[derive(Debug, Default, Clone)]
+pub struct ParStats {
+    /// Workers actually spawned (≤ configured threads).
+    pub workers: usize,
+    /// Summed per-worker busy time (total CPU time across threads).
+    pub busy_ns: u64,
+    /// Busy time of the slowest worker (the stage's critical path).
+    pub max_worker_ns: u64,
+    /// Morsels processed by each worker, in spawn order.
+    pub morsels_per_worker: Vec<u64>,
+}
+
+impl ParStats {
+    pub fn morsels(&self) -> u64 {
+        self.morsels_per_worker.iter().sum()
+    }
+}
+
+struct WorkerOut<T> {
+    /// `(morsel index, result)` pairs, in claim order.
+    items: Vec<(usize, T)>,
+    busy_ns: u64,
+    /// First error this worker hit, tagged with its morsel index.
+    err: Option<(usize, SqlError)>,
+}
+
+/// Map `work` over morsel indexes `0..n` on up to `threads` workers and
+/// return the results **in input order** plus the pool's actuals.
+///
+/// Runs serially (stats `None`) when the pool is not worth it. On error
+/// the queue is stopped, the fleet drains, and the error with the lowest
+/// morsel index is returned — the same error a serial left-to-right run
+/// would have hit first, keeping failure behaviour deterministic.
+pub fn morsel_map<T, F>(threads: usize, n: usize, work: F) -> SqlResult<(Vec<T>, Option<ParStats>)>
+where
+    T: Send,
+    F: Fn(usize) -> SqlResult<T> + Sync,
+{
+    if threads <= 1 || n < MIN_PARALLEL_MORSELS {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(work(i)?);
+        }
+        return Ok((out, None));
+    }
+
+    let workers = threads.min(n);
+    let queue = MorselQueue::new(n);
+    let queue = &queue;
+    let work = &work;
+    let joined: Vec<std::thread::Result<WorkerOut<T>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let start = Instant::now();
+                    let mut items = Vec::new();
+                    let mut err = None;
+                    while let Some(i) = queue.claim() {
+                        match work(i) {
+                            Ok(t) => items.push((i, t)),
+                            Err(e) => {
+                                err = Some((i, e));
+                                queue.stop();
+                                break;
+                            }
+                        }
+                    }
+                    WorkerOut { items, busy_ns: start.elapsed().as_nanos() as u64, err }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+
+    let mut stats = ParStats { workers, ..ParStats::default() };
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut first_err: Option<(usize, SqlError)> = None;
+    let mut panicked = false;
+    for res in joined {
+        match res {
+            Ok(w) => {
+                stats.busy_ns += w.busy_ns;
+                stats.max_worker_ns = stats.max_worker_ns.max(w.busy_ns);
+                stats
+                    .morsels_per_worker
+                    .push(w.items.len() as u64 + u64::from(w.err.is_some()));
+                for (i, t) in w.items {
+                    slots[i] = Some(t);
+                }
+                if let Some((i, e)) = w.err {
+                    if first_err.as_ref().map_or(true, |(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+            // A worker panic is a bug by the engine's no-panic contract,
+            // but it must degrade to an error, never an unwrap.
+            Err(_) => panicked = true,
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    if panicked {
+        return Err(SqlError::internal("parallel worker panicked"));
+    }
+    let out: SqlResult<Vec<T>> = slots
+        .into_iter()
+        .map(|s| s.ok_or_else(|| SqlError::internal("parallel worker dropped a morsel")))
+        .collect();
+    let m = mduck_obs::metrics();
+    m.parallel_stages.inc(1);
+    m.parallel_workers_spawned.inc(workers as u64);
+    m.morsels_dispatched.inc(n as u64);
+    Ok((out?, Some(stats)))
+}
+
+/// Split `0..n` into at most `parts` contiguous, near-equal ranges.
+/// Two-phase aggregation partitions chunks this way (rather than claiming
+/// single chunks dynamically) so each partial state sees its chunks in
+/// serial order and partials merge back in range order.
+pub fn contiguous_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsel_map_preserves_input_order() {
+        let (out, stats) = morsel_map(4, 100, |i| Ok(i * 2)).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        let stats = stats.expect("parallel path");
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.morsels(), 100);
+        assert_eq!(stats.morsels_per_worker.len(), 4);
+    }
+
+    #[test]
+    fn morsel_map_serial_fallbacks() {
+        let (out, stats) = morsel_map(1, 10, |i| Ok(i)).unwrap();
+        assert_eq!(out.len(), 10);
+        assert!(stats.is_none(), "threads=1 must not spawn workers");
+        let (out, stats) = morsel_map(8, 1, |i| Ok(i)).unwrap();
+        assert_eq!(out, vec![0]);
+        assert!(stats.is_none(), "one morsel must not spawn workers");
+        let (out, _) = morsel_map::<usize, _>(4, 0, |_| unreachable!()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn morsel_map_reports_lowest_index_error() {
+        // Every odd morsel fails; the reported error must be morsel 1's
+        // (the first a serial run would hit).
+        let err = morsel_map(4, 64, |i| {
+            if i % 2 == 1 {
+                Err(SqlError::execution(format!("boom at {i}")))
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "execution error: boom at 1", "{err}");
+    }
+
+    #[test]
+    fn morsel_map_contains_worker_panics() {
+        let err = morsel_map(2, 8, |i| {
+            if i == 3 {
+                panic!("worker bug");
+            }
+            Ok(i)
+        })
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Internal(_)), "{err}");
+    }
+
+    #[test]
+    fn contiguous_ranges_cover_exactly() {
+        for (n, parts) in [(10, 3), (2, 8), (7, 7), (1, 1), (100, 4)] {
+            let ranges = contiguous_ranges(n, parts);
+            assert!(ranges.len() <= parts);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be contiguous in order");
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges must cover 0..{n}");
+        }
+        assert!(contiguous_ranges(0, 4).is_empty());
+        assert!(contiguous_ranges(4, 0).is_empty());
+    }
+}

@@ -23,6 +23,15 @@ echo "== observability tests =="
 cargo test -q -p mduck-obs
 cargo test -q -p mduck-integration --test observability --test guard_limits
 
+echo "== parallel execution matrix =="
+# Morsel-driven parallelism must be byte-identical to serial execution.
+# MDUCK_THREADS overrides the auto-detected worker count, so the matrix
+# exercises both the serial path (threads=1) and a real worker pool
+# (threads=4) regardless of the host's core count. The differential
+# suite itself also pins thread counts per-connection via set_threads.
+MDUCK_THREADS=1 cargo test -q -p mduck-integration --test parallel_exec
+MDUCK_THREADS=4 cargo test -q -p mduck-integration --test parallel_exec
+
 echo "== clippy =="
 # Scoped to the bug classes this codebase has actually shipped
 # (panicking arithmetic/slicing in parsers); unwrap/expect policing is
