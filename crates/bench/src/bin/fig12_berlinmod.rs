@@ -86,6 +86,14 @@ fn main() {
             let mut times = Vec::new();
             for (si, sc) in scenarios.iter().enumerate() {
                 let mut record = |stats: mduck_bench::RunStats, threads: usize| {
+                    // Peak memory of the most recent sample: every
+                    // `execute()` logs its statement (with the guard's
+                    // mem peak) to the global query log, so the last
+                    // record is the run that just finished.
+                    let mem_peak = mduck_obs::query_log_snapshot()
+                        .last()
+                        .map(|r| r.mem_peak)
+                        .unwrap_or(0);
                     query_records.push(Json::Obj(vec![
                         ("query", Json::Str(format!("Q{id}"))),
                         ("sf", Json::Num(sf)),
@@ -95,6 +103,7 @@ fn main() {
                         ("p50_ms", Json::Num(stats.p50_ms)),
                         ("p95_ms", Json::Num(stats.p95_ms)),
                         ("rows", Json::Int(stats.rows as i64)),
+                        ("mem_peak", Json::Int(mem_peak as i64)),
                     ]));
                 };
                 let stats = if *sc == Scenario::MobilityDuck {
@@ -137,6 +146,7 @@ fn main() {
                             ("rows_out", Json::Int(op.rows_out as i64)),
                             ("chunks_out", Json::Int(op.chunks_out as i64)),
                             ("rows_scanned", Json::Int(op.rows_scanned as i64)),
+                            ("mem_bytes", Json::Int(op.mem_bytes as i64)),
                         ]));
                     }
                 }

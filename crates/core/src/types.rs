@@ -98,6 +98,9 @@ impl ExtObject for MdTGeomPoint {
         // what the row engine deforms/detoasts per access.
         mduck_temporal::binser::tgeompoint_to_bytes(&self.0)
     }
+    fn approx_bytes(&self) -> u64 {
+        tgeompoint_approx_bytes(&self.0)
+    }
 }
 
 impl MdTGeomPoint {
@@ -132,6 +135,17 @@ impl ExtObject for MdTGeometry {
     fn to_bytes(&self) -> Vec<u8> {
         mduck_temporal::binser::tgeompoint_to_bytes(&self.0)
     }
+    fn approx_bytes(&self) -> u64 {
+        tgeompoint_approx_bytes(&self.0)
+    }
+}
+
+/// Size estimate shared by the temporal-point wrappers: sequences grow
+/// with their instant count (x, y, t, flags per instant), so a BerlinMOD
+/// trip weighs its real length rather than the 64-byte `ExtObject`
+/// default.
+fn tgeompoint_approx_bytes(t: &TGeomPoint) -> u64 {
+    48 + t.temp.num_instants() as u64 * 32
 }
 
 impl MdTGeometry {

@@ -15,13 +15,37 @@
 //!   execute) are spanned always; per-operator spans are emitted when a
 //!   statement runs under profiling (`EXPLAIN ANALYZE`).
 //!
+//! * **Memory accounting** ([`mem`]): hierarchical scoped byte trackers
+//!   (query → operator) with atomic current/peak, mirrored into the
+//!   `mem_current` / `mem_peak` gauges and enforced by the engines'
+//!   `PRAGMA memory_limit`.
+//!
+//! * **Progress** ([`progress`]): per-statement cardinality-based
+//!   completion estimates, monotone and safe to poll from another
+//!   thread, queryable via `mduck_progress()`.
+//!
+//! * **Query log** ([`querylog`]): a bounded history of executed
+//!   statements with an optional JSONL sink, queryable via
+//!   `mduck_query_log()`.
+//!
 //! The crate deliberately knows nothing about SQL or either engine; the
 //! `mduck-sql` frontend owns the SQL-facing projection of this data.
 
+pub mod mem;
 pub mod metrics;
+pub mod progress;
+pub mod querylog;
 pub mod span;
 
+pub use mem::{format_bytes, parse_bytes, MemTracker};
 pub use metrics::{metrics, Counter, Gauge, Histogram, MetricSnapshot, Metrics, WorkerCounters};
+pub use progress::{progress_snapshot, reset_progress, ProgressSnapshot, QueryProgress};
+pub use querylog::{
+    log_query, next_query_id, query_log_sink_active, query_log_sink_path, query_log_snapshot,
+    reset_query_log, set_query_log_sink, set_slow_threshold_ms, slow_threshold_ms,
+    QueryLogRecord, QUERY_LOG_CAP,
+};
 pub use span::{
-    reset_spans, span, spans_snapshot, Span, SpanRecord, SPAN_BUFFER_CAP,
+    current_span_id, reset_spans, span, span_with_parent, spans_snapshot, Span, SpanRecord,
+    SPAN_BUFFER_CAP,
 };

@@ -273,12 +273,17 @@ define_metrics! {
         guard_trip_row_budget,
         guard_trip_depth,
         guard_trip_cancel,
+        guard_trip_memory,
         parallel_stages,
         parallel_workers_spawned,
         morsels_dispatched,
+        spans_dropped,
+        queries_logged,
     }
     gauges {
         active_queries,
+        mem_current,
+        mem_peak,
     }
     histograms {
         vecdb_parse_ns,

@@ -19,7 +19,10 @@ use std::time::Instant;
 
 use mduck_sync::Mutex;
 
-/// Maximum finished spans retained; older spans are evicted FIFO.
+use crate::metrics::metrics;
+
+/// Maximum finished spans retained; older spans are evicted FIFO (each
+/// eviction increments the `spans_dropped` counter).
 pub const SPAN_BUFFER_CAP: usize = 4096;
 
 /// A finished span, as exported to `mduck_spans()`.
@@ -75,17 +78,36 @@ impl Span {
 /// Open a span as a child of the thread's current innermost span.
 #[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
 pub fn span(name: impl Into<String>) -> Span {
+    open(name.into(), None)
+}
+
+/// Open a span with an explicit parent id, for code running on a thread
+/// the parent never touched (morsel workers: the thread-local stack does
+/// not cross `std::thread::scope`). The span still joins the *calling*
+/// thread's stack so its own children nest normally.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub fn span_with_parent(name: impl Into<String>, parent: Option<u64>) -> Span {
+    open(name.into(), parent)
+}
+
+/// Id of the calling thread's innermost open span, if any. Coordinators
+/// capture this before fanning out so workers can re-parent under it.
+pub fn current_span_id() -> Option<u64> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+fn open(name: String, explicit_parent: Option<u64>) -> Span {
     let start = Instant::now();
     let start_us = start.duration_since(epoch()).as_micros() as u64;
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let (parent, depth) = STACK.with(|s| {
         let mut s = s.borrow_mut();
-        let parent = s.last().copied();
+        let parent = explicit_parent.or_else(|| s.last().copied());
         let depth = s.len() as u32;
         s.push(id);
         (parent, depth)
     });
-    Span { id, parent, name: name.into(), depth, start, start_us }
+    Span { id, parent, name, depth, start, start_us }
 }
 
 impl Drop for Span {
@@ -109,6 +131,7 @@ impl Drop for Span {
         let mut ring = ring().lock();
         if ring.len() >= SPAN_BUFFER_CAP {
             ring.pop_front();
+            metrics().spans_dropped.inc(1);
         }
         ring.push_back(record);
     }

@@ -3,12 +3,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use mduck_sync::RwLock;
+use mduck_obs::QueryProgress;
+use mduck_sync::{Mutex, RwLock};
 
 use mduck_sql::ast::{InsertSource, Statement};
 use mduck_sql::eval::{eval, OuterStack};
 use mduck_sql::{
-    parse_statement, Binder, Catalog, LogicalType, Registry, Schema, SqlError, SqlResult, Value,
+    parse_statement, Binder, Catalog, ExecGuard, ExecLimits, LogicalType, Registry, Schema,
+    SqlError, SqlResult, Value,
 };
 
 use crate::catalog::RowCatalog;
@@ -27,6 +29,11 @@ pub struct RowDatabase {
     pub catalog: RowCatalog,
     registry: Arc<RwLock<Registry>>,
     index_types: Arc<RwLock<RowIndexRegistry>>,
+    /// Per-statement execution limits (`PRAGMA memory_limit`, row budget).
+    limits: RwLock<ExecLimits>,
+    /// Progress handle of the most recent `execute()` statement; retained
+    /// after completion so late pollers read 1.0 rather than nothing.
+    current_progress: Mutex<Option<Arc<QueryProgress>>>,
 }
 
 impl Default for RowDatabase {
@@ -43,7 +50,23 @@ impl RowDatabase {
             catalog: RowCatalog::default(),
             registry: Arc::new(RwLock::new(Registry::with_builtins())),
             index_types: Arc::new(RwLock::new(index_types)),
+            limits: RwLock::new(ExecLimits::default()),
+            current_progress: Mutex::new(None),
         }
+    }
+
+    pub fn set_exec_limits(&self, limits: ExecLimits) {
+        *self.limits.write() = limits;
+    }
+
+    pub fn exec_limits(&self) -> ExecLimits {
+        self.limits.read().clone()
+    }
+
+    /// Completion fraction of the most recent `execute()` statement, if
+    /// any — pollable from another thread while a statement runs.
+    pub fn progress(&self) -> Option<f64> {
+        self.current_progress.lock().as_ref().map(|p| p.fraction())
     }
 
     pub fn registry_mut(&self) -> mduck_sync::RwLockWriteGuard<'_, Registry> {
@@ -60,7 +83,48 @@ impl RowDatabase {
 
     pub fn execute(&self, sql: &str) -> SqlResult<RowQueryResult> {
         let stmt = parse_timed(sql)?;
-        self.execute_statement(&stmt)
+        let guard = ExecGuard::new(&self.limits.read());
+        let id = mduck_obs::next_query_id();
+        let sql_text = sql.trim().to_string();
+        let progress = QueryProgress::begin(&sql_text);
+        *self.current_progress.lock() = Some(Arc::clone(&progress));
+        let start = Instant::now();
+        let result = self.run_guarded(&stmt, &guard, Some(&progress));
+        progress.finish();
+        let duration = start.elapsed();
+        let (rows_returned, error) = match &result {
+            Ok(r) => (r.rows.len() as u64, None),
+            Err(e) => (0, Some(e.to_string())),
+        };
+        // Slow SELECTs capture the engine's analyzed plan; the re-plan is
+        // bind-only and cheap next to a slow execution.
+        let slow = duration.as_millis() as u64 >= mduck_obs::slow_threshold_ms();
+        let profile = if slow { self.explain_for_log(&stmt) } else { None };
+        mduck_obs::log_query(mduck_obs::QueryLogRecord {
+            id,
+            engine: "rowdb",
+            sql: sql_text,
+            duration_us: duration.as_micros() as u64,
+            rows_returned,
+            rows_scanned: guard.rows_scanned(),
+            guard_trip: guard.trip_label(),
+            mem_peak: guard.mem().peak(),
+            threads: 1,
+            error,
+            profile,
+        });
+        result
+    }
+
+    /// The analyzed-plan text attached to slow query-log entries.
+    fn explain_for_log(&self, stmt: &Statement) -> Option<String> {
+        let Statement::Select(sel) = stmt else { return None };
+        let registry = self.registry.read();
+        let mut binder = Binder::new(&self.catalog, &registry);
+        let plan = binder.bind_select(sel).ok()?;
+        let guard = ExecGuard::new(&self.limits.read());
+        let ctx = RowCtx::new(&self.catalog, &registry, &guard);
+        crate::exec::explain_select(&ctx, &plan).ok()
     }
 
     pub fn execute_script(&self, sql: &str) -> SqlResult<RowQueryResult> {
@@ -77,8 +141,18 @@ impl RowDatabase {
     /// and surfaced as [`SqlError::Internal`] instead of unwinding into
     /// the host (the interior locks recover from poisoning).
     pub fn execute_statement(&self, stmt: &Statement) -> SqlResult<RowQueryResult> {
+        let guard = ExecGuard::new(&self.limits.read());
+        self.run_guarded(stmt, &guard, None)
+    }
+
+    fn run_guarded(
+        &self,
+        stmt: &Statement,
+        guard: &ExecGuard,
+        progress: Option<&QueryProgress>,
+    ) -> SqlResult<RowQueryResult> {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.run_statement(stmt)
+            self.run_statement(stmt, guard, progress)
         })) {
             Ok(r) => r,
             Err(payload) => {
@@ -92,7 +166,12 @@ impl RowDatabase {
         }
     }
 
-    fn run_statement(&self, stmt: &Statement) -> SqlResult<RowQueryResult> {
+    fn run_statement(
+        &self,
+        stmt: &Statement,
+        guard: &ExecGuard,
+        progress: Option<&QueryProgress>,
+    ) -> SqlResult<RowQueryResult> {
         match stmt {
             Statement::Select(sel) => {
                 let m = mduck_obs::metrics();
@@ -108,7 +187,7 @@ impl RowDatabase {
                     binder.bind_select(sel)?
                 };
                 m.rowdb_bind_ns.observe(bind_start.elapsed().as_nanos() as u64);
-                let ctx = RowCtx::new(&self.catalog, &registry);
+                let ctx = RowCtx::new(&self.catalog, &registry, guard).with_progress(progress);
                 let exec_start = Instant::now();
                 let rows = {
                     let _s = mduck_obs::span("rowdb.exec");
@@ -125,7 +204,7 @@ impl RowDatabase {
                 let registry = self.registry.read();
                 let mut binder = Binder::new(&self.catalog, &registry);
                 let plan = binder.bind_select(sel)?;
-                let ctx = RowCtx::new(&self.catalog, &registry);
+                let ctx = RowCtx::new(&self.catalog, &registry, guard).with_progress(progress);
                 let mut text = crate::exec::explain_select(&ctx, &plan)?;
                 if *analyze {
                     // PostgreSQL appends execution totals below the plan.
@@ -163,7 +242,12 @@ impl RowDatabase {
                 // accepted for cross-engine script compatibility but always
                 // reports 1.
                 if name == "threads" {
-                    if let Some(v) = *value {
+                    if let Some(v) = value {
+                        let v = v.as_int().ok_or_else(|| {
+                            SqlError::Bind(format!(
+                                "PRAGMA threads expects an integer, got {v:?}"
+                            ))
+                        })?;
                         if v < 0 {
                             return Err(SqlError::OutOfRange(format!(
                                 "PRAGMA threads expects a non-negative value, got {v}"
@@ -173,12 +257,17 @@ impl RowDatabase {
                     let (schema, rows) = mduck_sql::introspect::threads_result(1);
                     return Ok(RowQueryResult { schema, rows });
                 }
-                if value.is_some() {
-                    return Err(SqlError::Catalog(format!(
-                        "pragma {name:?} does not take a value"
-                    )));
+                if name == "memory_limit" {
+                    if let Some(v) = value {
+                        let limit = mduck_sql::introspect::parse_memory_limit(v)?;
+                        self.limits.write().memory_limit = limit;
+                    }
+                    let (schema, rows) = mduck_sql::introspect::memory_limit_result(
+                        self.limits.read().memory_limit,
+                    );
+                    return Ok(RowQueryResult { schema, rows });
                 }
-                match mduck_sql::introspect::pragma(name)? {
+                match mduck_sql::introspect::pragma(name, value.as_ref())? {
                     Some((schema, rows)) => Ok(RowQueryResult { schema, rows }),
                     None => Err(SqlError::Catalog(format!("unknown pragma {name:?}"))),
                 }
@@ -281,7 +370,8 @@ impl RowDatabase {
             InsertSource::Select(sel) => {
                 let mut binder = Binder::new(&self.catalog, &registry);
                 let plan = binder.bind_select(sel)?;
-                let ctx = RowCtx::new(&self.catalog, &registry);
+                let guard = ExecGuard::new(&self.limits.read());
+                let ctx = RowCtx::new(&self.catalog, &registry, &guard);
                 execute_select(&ctx, &plan, &OuterStack::EMPTY)?
             }
         };

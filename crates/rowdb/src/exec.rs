@@ -12,11 +12,12 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use mduck_obs::QueryProgress;
 use mduck_sql::ast::BinaryOp;
 use mduck_sql::eval::{eval, OuterStack, SubqueryExec};
 use mduck_sql::{
-    split_conjuncts, BoundExpr, BoundFrom, BoundSelect, Registry, SortKey, SqlError, SqlResult,
-    Value,
+    split_conjuncts, BoundExpr, BoundFrom, BoundSelect, ExecGuard, Registry, SortKey, SqlError,
+    SqlResult, Value,
 };
 
 use crate::catalog::RowCatalog;
@@ -27,21 +28,41 @@ type Row = Vec<Value>;
 pub struct RowCtx<'a> {
     pub catalog: &'a RowCatalog,
     pub registry: &'a Registry,
+    /// The per-statement guard: rows-scanned budget, memory accounting.
+    pub guard: &'a ExecGuard,
+    /// Live progress of the statement, if the caller registered one.
+    pub progress: Option<&'a QueryProgress>,
     pub ctes: RefCell<HashMap<usize, Arc<Vec<Row>>>>,
     pub rows_scanned: RefCell<usize>,
     pub used_index: RefCell<bool>,
 }
 
 impl<'a> RowCtx<'a> {
-    pub fn new(catalog: &'a RowCatalog, registry: &'a Registry) -> Self {
+    pub fn new(catalog: &'a RowCatalog, registry: &'a Registry, guard: &'a ExecGuard) -> Self {
         RowCtx {
             catalog,
             registry,
+            guard,
+            progress: None,
             ctes: RefCell::new(HashMap::new()),
             rows_scanned: RefCell::new(0),
             used_index: RefCell::new(false),
         }
     }
+
+    pub fn with_progress(mut self, progress: Option<&'a QueryProgress>) -> Self {
+        self.progress = progress;
+        self
+    }
+}
+
+/// Heap-tuple cost of one materialized row: a `Vec<Value>` header plus the
+/// per-value estimates (`Value::approx_bytes`). The row engine charges
+/// every row it materializes — scans, join builds/outputs, group states —
+/// against the statement's memory scope, so `PRAGMA memory_limit` trips
+/// identically to the vectorized engine's allocation-cumulative model.
+fn row_bytes(row: &Row) -> u64 {
+    24 + row.iter().map(Value::approx_bytes).sum::<u64>()
 }
 
 struct RowExecutor<'a, 'b> {
@@ -84,6 +105,10 @@ enum Source {
     Series { args: Vec<BoundExpr> },
     /// `mduck_spans()`: snapshot of the tracing-span ring buffer.
     Spans,
+    /// `mduck_progress()`: snapshot of the live query-progress registry.
+    Progress,
+    /// `mduck_query_log()`: snapshot of the in-memory query history.
+    QueryLog,
 }
 
 /// How the next relation joins onto the accumulated left side.
@@ -181,6 +206,8 @@ fn plan_rows(ctx: &RowCtx<'_>, plan: &BoundSelect) -> SqlResult<RowPlan> {
             BoundFrom::Subquery { plan, .. } => Source::Subquery { plan: plan.clone() },
             BoundFrom::Series { args, .. } => Source::Series { args: args.clone() },
             BoundFrom::Spans { .. } => Source::Spans,
+            BoundFrom::Progress { .. } => Source::Progress,
+            BoundFrom::QueryLog { .. } => Source::QueryLog,
         };
         sources.push(source);
     }
@@ -443,6 +470,8 @@ fn render_source(out: &mut String, pad: &str, s: &Source) {
         Source::Subquery { .. } => out.push_str(&format!("{pad}Subquery Scan\n")),
         Source::Series { .. } => out.push_str(&format!("{pad}Function Scan on generate_series\n")),
         Source::Spans => out.push_str(&format!("{pad}Function Scan on mduck_spans\n")),
+        Source::Progress => out.push_str(&format!("{pad}Function Scan on mduck_progress\n")),
+        Source::QueryLog => out.push_str(&format!("{pad}Function Scan on mduck_query_log\n")),
     }
 }
 
@@ -481,6 +510,7 @@ fn scan_source(
                         return Ok(());
                     }
                 }
+                ctx.guard.charge_mem(row_bytes(&row))?;
                 out.push(row);
                 Ok(())
             };
@@ -490,10 +520,17 @@ fn scan_source(
                     ids.sort_unstable();
                     candidates = ids.len();
                     *ctx.rows_scanned.borrow_mut() += ids.len();
+                    ctx.guard.note_scanned(ids.len());
                     let m = mduck_obs::metrics();
                     m.index_probes.inc(1);
                     m.rows_scanned.inc(ids.len() as u64);
+                    if let Some(pr) = ctx.progress {
+                        pr.add_total(ids.len() as u64);
+                    }
                     for id in ids {
+                        if let Some(pr) = ctx.progress {
+                            pr.add_done(1);
+                        }
                         let row = detoast_row(ctx, &t.rows[id as usize])?;
                         // Re-check the indexed predicate (the index may be
                         // lossy) plus residual filters.
@@ -506,10 +543,17 @@ fn scan_source(
                 _ => {
                     candidates = t.rows.len();
                     *ctx.rows_scanned.borrow_mut() += t.rows.len();
+                    ctx.guard.note_scanned(t.rows.len());
                     let m = mduck_obs::metrics();
                     m.full_scans.inc(1);
                     m.rows_scanned.inc(t.rows.len() as u64);
+                    if let Some(pr) = ctx.progress {
+                        pr.add_total(t.rows.len() as u64);
+                    }
                     for stored in &t.rows {
+                        if let Some(pr) = ctx.progress {
+                            pr.add_done(1);
+                        }
                         let row = detoast_row(ctx, stored)?;
                         if let Some((_, _, original)) = index_probe {
                             if !matches!(
@@ -555,6 +599,8 @@ fn scan_source(
             Ok(out)
         }
         Source::Spans => Ok(mduck_sql::introspect::span_rows()),
+        Source::Progress => Ok(mduck_sql::introspect::progress_rows()),
+        Source::QueryLog => Ok(mduck_sql::introspect::query_log_rows()),
     }
 }
 
@@ -587,6 +633,7 @@ pub fn execute_select(
                         for r in &right {
                             let mut row = l.clone();
                             row.extend(r.iter().cloned());
+                            ctx.guard.charge_mem(row_bytes(&row))?;
                             out.push(row);
                         }
                     }
@@ -605,6 +652,9 @@ pub fn execute_select(
                             }
                             v.hash_key(&mut key);
                         }
+                        // Build-side state: the serialized key plus a
+                        // bucket slot per entry.
+                        ctx.guard.charge_mem(32 + key.len() as u64)?;
                         table.entry(key).or_default().push(i);
                     }
                     let mut out = Vec::new();
@@ -621,6 +671,7 @@ pub fn execute_select(
                             for &i in ms {
                                 let mut row = l.clone();
                                 row.extend(right[i].iter().cloned());
+                                ctx.guard.charge_mem(row_bytes(&row))?;
                                 out.push(row);
                             }
                         }
@@ -652,6 +703,7 @@ pub fn execute_select(
                             ));
                         };
                         *ctx.rows_scanned.borrow_mut() += ids.len();
+                        ctx.guard.note_scanned(ids.len());
                         let m = mduck_obs::metrics();
                         m.index_probes.inc(1);
                         m.rows_scanned.inc(ids.len() as u64);
@@ -666,6 +718,7 @@ pub fn execute_select(
                             row.extend(r.iter().cloned());
                             // Re-check the join predicate exactly.
                             if matches!(eval(original, &row, outer, &exec)?, Value::Bool(true)) {
+                                ctx.guard.charge_mem(row_bytes(&row))?;
                                 out.push(row);
                             }
                         }
@@ -805,15 +858,27 @@ fn aggregate_rows(
             v.hash_key(&mut key);
             keys.push(v);
         }
-        let group = groups.entry(key).or_insert_with(|| Group {
-            keys,
-            states: plan.aggregates.iter().map(|a| (a.factory)()).collect(),
-            distinct_seen: plan
-                .aggregates
-                .iter()
-                .map(|a| a.distinct.then(std::collections::HashSet::new))
-                .collect(),
-        });
+        let group = match groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                // New group: charge the key copies plus a fixed estimate
+                // per aggregate state, so unbounded-cardinality GROUP BYs
+                // trip `PRAGMA memory_limit` like the vectorized engine.
+                ctx.guard.charge_mem(
+                    64 + keys.iter().map(Value::approx_bytes).sum::<u64>()
+                        + plan.aggregates.len() as u64 * 48,
+                )?;
+                e.insert(Group {
+                    keys,
+                    states: plan.aggregates.iter().map(|a| (a.factory)()).collect(),
+                    distinct_seen: plan
+                        .aggregates
+                        .iter()
+                        .map(|a| a.distinct.then(std::collections::HashSet::new))
+                        .collect(),
+                })
+            }
+        };
         for (ai, agg) in plan.aggregates.iter().enumerate() {
             let mut args = Vec::with_capacity(agg.args.len());
             for a in &agg.args {

@@ -43,13 +43,37 @@ pub enum Statement {
         /// with actual per-operator timings and cardinalities.
         analyze: bool,
     },
-    /// `PRAGMA <name>` / `PRAGMA <name> = <int>`: engine introspection
+    /// `PRAGMA <name>` / `PRAGMA <name> = <value>`: engine introspection
     /// (`metrics`, `reset_metrics`, `reset_spans`) and engine settings
-    /// (`threads`, `threads = N`).
+    /// (`threads = N`, `memory_limit = '8MB'`, `query_log = 'q.jsonl'`).
     Pragma {
         name: String,
-        value: Option<i64>,
+        value: Option<PragmaValue>,
     },
+}
+
+/// The value of a `PRAGMA name = <value>` assignment. Settings that take
+/// sizes or paths use string form (`PRAGMA memory_limit='8MB'`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PragmaValue {
+    Int(i64),
+    Str(String),
+}
+
+impl PragmaValue {
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PragmaValue::Int(n) => Some(*n),
+            PragmaValue::Str(_) => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PragmaValue::Int(_) => None,
+            PragmaValue::Str(s) => Some(s),
+        }
+    }
 }
 
 /// The data source of an INSERT.

@@ -283,17 +283,22 @@ impl<'a> Binder<'a> {
             }
             TableRef::Function { name, args, alias, column_aliases } => {
                 let lname = name.to_ascii_lowercase();
-                if lname == "mduck_spans" {
+                // Zero-argument introspection table functions share one
+                // shape: alias-qualified fields from `introspect`.
+                if let Some(fields_fn) = introspection_fn(&lname) {
                     if !args.is_empty() {
-                        return Err(SqlError::Bind("mduck_spans takes no arguments".into()));
+                        return Err(SqlError::Bind(format!("{lname} takes no arguments")));
                     }
                     let alias = alias
                         .as_ref()
                         .map(|a| a.to_ascii_lowercase())
                         .unwrap_or_else(|| lname.clone());
-                    let schema =
-                        Schema::new(crate::introspect::span_fields(&alias));
-                    out.push(BoundFrom::Spans { alias, schema });
+                    let schema = Schema::new(fields_fn(&alias));
+                    out.push(match lname.as_str() {
+                        "mduck_spans" => BoundFrom::Spans { alias, schema },
+                        "mduck_progress" => BoundFrom::Progress { alias, schema },
+                        _ => BoundFrom::QueryLog { alias, schema },
+                    });
                     return Ok(());
                 }
                 if lname != "generate_series" && lname != "range" {
@@ -790,6 +795,16 @@ impl<'a> Binder<'a> {
             ty: ret,
             strict: sig.strict,
         })
+    }
+}
+
+/// Schema builder for the zero-argument introspection table functions.
+fn introspection_fn(name: &str) -> Option<fn(&str) -> Vec<crate::bound::Field>> {
+    match name {
+        "mduck_spans" => Some(crate::introspect::span_fields),
+        "mduck_progress" => Some(crate::introspect::progress_fields),
+        "mduck_query_log" => Some(crate::introspect::query_log_fields),
+        _ => None,
     }
 }
 

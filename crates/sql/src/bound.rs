@@ -304,6 +304,10 @@ pub enum BoundFrom {
     Series { args: Vec<BoundExpr>, alias: String, schema: Schema },
     /// `mduck_spans()`: snapshot of the tracing-span ring buffer.
     Spans { alias: String, schema: Schema },
+    /// `mduck_progress()`: snapshot of the live-progress registry.
+    Progress { alias: String, schema: Schema },
+    /// `mduck_query_log()`: snapshot of the query-log history.
+    QueryLog { alias: String, schema: Schema },
 }
 
 impl BoundFrom {
@@ -313,7 +317,9 @@ impl BoundFrom {
             | BoundFrom::Cte { schema, .. }
             | BoundFrom::Subquery { schema, .. }
             | BoundFrom::Series { schema, .. }
-            | BoundFrom::Spans { schema, .. } => schema,
+            | BoundFrom::Spans { schema, .. }
+            | BoundFrom::Progress { schema, .. }
+            | BoundFrom::QueryLog { schema, .. } => schema,
         }
     }
 }

@@ -3,15 +3,20 @@
 //! Two surfaces, deliberately engine-agnostic so `PRAGMA metrics` returns
 //! the exact same schema from the vectorized and the row engine:
 //!
-//! * [`pragma`] — resolves `PRAGMA <name>` statements (`metrics`,
-//!   `reset_metrics`, `reset_spans`) into a `(Schema, rows)` pair, or
-//!   `None` for names this module does not know (the engine reports the
-//!   error so it can mention its own name).
-//! * [`span_fields`]/[`span_rows`] — the schema and snapshot rows of the
-//!   `mduck_spans()` table function backed by the tracing ring buffer.
+//! * [`pragma`] — resolves `PRAGMA <name> [= value]` statements
+//!   (`metrics`, `reset_metrics`, `reset_spans`, `query_log`,
+//!   `slow_query_ms`, ...) into a `(Schema, rows)` pair, or `None` for
+//!   names this module does not know (the engine reports the error so it
+//!   can mention its own name, and handles per-database settings like
+//!   `threads` and `memory_limit` itself).
+//! * [`span_fields`]/[`span_rows`], [`progress_fields`]/[`progress_rows`],
+//!   [`query_log_fields`]/[`query_log_rows`] — the schemas and snapshot
+//!   rows of the `mduck_spans()` / `mduck_progress()` /
+//!   `mduck_query_log()` table functions.
 
+use crate::ast::PragmaValue;
 use crate::bound::{Field, Schema};
-use crate::error::SqlResult;
+use crate::error::{SqlError, SqlResult};
 use crate::value::{LogicalType, Value};
 
 /// Schema of `PRAGMA metrics`: one row per registered metric.
@@ -75,6 +80,82 @@ pub fn span_rows() -> Vec<Vec<Value>> {
         .collect()
 }
 
+/// Schema of the `mduck_progress()` table function: one row per registry
+/// entry (in-flight statements plus a tail of recently finished ones).
+pub fn progress_fields(alias: &str) -> Vec<Field> {
+    let table = Some(alias.to_string());
+    let f = |name: &str, ty: LogicalType| Field { name: name.into(), table: table.clone(), ty };
+    vec![
+        f("query_id", LogicalType::Int),
+        f("sql", LogicalType::Text),
+        f("units_done", LogicalType::Int),
+        f("units_total", LogicalType::Int),
+        f("fraction", LogicalType::Float),
+        f("finished", LogicalType::Bool),
+    ]
+}
+
+/// Snapshot of the progress registry, oldest first, shaped for
+/// [`progress_fields`].
+pub fn progress_rows() -> Vec<Vec<Value>> {
+    mduck_obs::progress_snapshot()
+        .into_iter()
+        .map(|p| {
+            vec![
+                Value::Int(p.id as i64),
+                Value::Text(p.sql.into()),
+                Value::Int(p.units_done as i64),
+                Value::Int(p.units_total as i64),
+                Value::Float(p.fraction),
+                Value::Bool(p.finished),
+            ]
+        })
+        .collect()
+}
+
+/// Schema of the `mduck_query_log()` table function: one row per logged
+/// statement, identical on both engines.
+pub fn query_log_fields(alias: &str) -> Vec<Field> {
+    let table = Some(alias.to_string());
+    let f = |name: &str, ty: LogicalType| Field { name: name.into(), table: table.clone(), ty };
+    vec![
+        f("query_id", LogicalType::Int),
+        f("engine", LogicalType::Text),
+        f("sql", LogicalType::Text),
+        f("duration_ms", LogicalType::Float),
+        f("rows_returned", LogicalType::Int),
+        f("rows_scanned", LogicalType::Int),
+        f("guard_trip", LogicalType::Text),
+        f("mem_peak", LogicalType::Int),
+        f("threads", LogicalType::Int),
+        f("error", LogicalType::Text),
+        f("profile", LogicalType::Text),
+    ]
+}
+
+/// Snapshot of the query-log history, oldest first, shaped for
+/// [`query_log_fields`].
+pub fn query_log_rows() -> Vec<Vec<Value>> {
+    mduck_obs::query_log_snapshot()
+        .into_iter()
+        .map(|r| {
+            vec![
+                Value::Int(r.id as i64),
+                Value::Text(r.engine.into()),
+                Value::Text(r.sql.into()),
+                Value::Float(r.duration_us as f64 / 1000.0),
+                Value::Int(r.rows_returned as i64),
+                Value::Int(r.rows_scanned as i64),
+                r.guard_trip.map(Value::text).unwrap_or(Value::Null),
+                Value::Int(r.mem_peak as i64),
+                Value::Int(r.threads as i64),
+                r.error.map(|e| Value::text(&e)).unwrap_or(Value::Null),
+                r.profile.map(|p| Value::text(&p)).unwrap_or(Value::Null),
+            ]
+        })
+        .collect()
+}
+
 fn status_result(status: &str) -> (Schema, Vec<Vec<Value>>) {
     let schema = Schema::new(vec![Field {
         name: "status".into(),
@@ -96,9 +177,53 @@ pub fn threads_result(effective: usize) -> (Schema, Vec<Vec<Value>>) {
     (schema, vec![vec![Value::Int(effective as i64)]])
 }
 
-/// Resolve a `PRAGMA <name>` statement. Returns `None` for unknown names
-/// so the calling engine can produce its own error message.
-pub fn pragma(name: &str) -> SqlResult<Option<(Schema, Vec<Vec<Value>>)>> {
+/// Result of `PRAGMA memory_limit [= ...]`: the limit now in force,
+/// rendered the way the pragma accepts it (`8MB`, `unlimited`). Shared so
+/// both engines answer with the identical schema.
+pub fn memory_limit_result(limit: Option<u64>) -> (Schema, Vec<Vec<Value>>) {
+    let schema = Schema::new(vec![Field {
+        name: "memory_limit".into(),
+        table: None,
+        ty: LogicalType::Text,
+    }]);
+    let rendered = match limit {
+        Some(bytes) => mduck_obs::format_bytes(bytes),
+        None => "unlimited".to_string(),
+    };
+    (schema, vec![vec![Value::text(&rendered)]])
+}
+
+/// Parse the value of `PRAGMA memory_limit = ...`: a byte count, a human
+/// size string (`'8MB'`), or `'unlimited'` / `'none'` / `0` to clear.
+pub fn parse_memory_limit(value: &PragmaValue) -> SqlResult<Option<u64>> {
+    match value {
+        PragmaValue::Int(n) if *n <= 0 => Ok(None),
+        PragmaValue::Int(n) => Ok(Some(*n as u64)),
+        PragmaValue::Str(s) => {
+            let lower = s.trim().to_ascii_lowercase();
+            if lower.is_empty() || lower == "unlimited" || lower == "none" {
+                return Ok(None);
+            }
+            match mduck_obs::parse_bytes(s) {
+                Some(0) => Ok(None),
+                Some(bytes) => Ok(Some(bytes)),
+                None => Err(SqlError::Parse(format!(
+                    "invalid memory_limit {s:?} (expected e.g. '8MB', '512KB', a byte \
+                     count, or 'unlimited')"
+                ))),
+            }
+        }
+    }
+}
+
+/// Resolve a `PRAGMA <name> [= value]` statement. Returns `None` for
+/// unknown names so the calling engine can produce its own error message
+/// (per-database settings — `threads`, `memory_limit` — are also the
+/// engine's job; everything here is process-global).
+pub fn pragma(
+    name: &str,
+    value: Option<&PragmaValue>,
+) -> SqlResult<Option<(Schema, Vec<Vec<Value>>)>> {
     match name {
         "metrics" => Ok(Some((metrics_schema(), metrics_rows()))),
         "reset_metrics" => {
@@ -108,6 +233,63 @@ pub fn pragma(name: &str) -> SqlResult<Option<(Schema, Vec<Vec<Value>>)>> {
         "reset_spans" => {
             mduck_obs::reset_spans();
             Ok(Some(status_result("spans reset")))
+        }
+        "reset_query_log" => {
+            mduck_obs::reset_query_log();
+            Ok(Some(status_result("query log reset")))
+        }
+        "reset_progress" => {
+            mduck_obs::reset_progress();
+            Ok(Some(status_result("progress registry reset")))
+        }
+        // `PRAGMA query_log='q.jsonl'` points the JSONL sink;
+        // `= 'off'` / `= ''` disables it; bare `PRAGMA query_log`
+        // reports the active path.
+        "query_log" => {
+            if let Some(v) = value {
+                let path = match v {
+                    PragmaValue::Str(s) => s.clone(),
+                    PragmaValue::Int(n) => {
+                        return Err(SqlError::Parse(format!(
+                            "PRAGMA query_log expects a path string, got {n}"
+                        )))
+                    }
+                };
+                let arg = match path.trim().to_ascii_lowercase().as_str() {
+                    "" | "off" | "none" => None,
+                    _ => Some(path.as_str()),
+                };
+                mduck_obs::set_query_log_sink(arg).map_err(|e| {
+                    SqlError::execution(format!("cannot open query log {path:?}: {e}"))
+                })?;
+            }
+            let schema = Schema::new(vec![Field {
+                name: "query_log".into(),
+                table: None,
+                ty: LogicalType::Text,
+            }]);
+            let shown = mduck_obs::query_log_sink_path().unwrap_or_else(|| "off".into());
+            Ok(Some((schema, vec![vec![Value::text(&shown)]])))
+        }
+        // Statements at least this slow attach their EXPLAIN ANALYZE
+        // profile to the query log.
+        "slow_query_ms" => {
+            if let Some(v) = value {
+                match v.as_int() {
+                    Some(ms) if ms >= 0 => mduck_obs::set_slow_threshold_ms(ms as u64),
+                    _ => {
+                        return Err(SqlError::Parse(
+                            "PRAGMA slow_query_ms expects a non-negative integer".into(),
+                        ))
+                    }
+                }
+            }
+            let schema = Schema::new(vec![Field {
+                name: "slow_query_ms".into(),
+                table: None,
+                ty: LogicalType::Int,
+            }]);
+            Ok(Some((schema, vec![vec![Value::Int(mduck_obs::slow_threshold_ms() as i64)]])))
         }
         _ => Ok(None),
     }
@@ -141,8 +323,65 @@ mod tests {
 
     #[test]
     fn pragma_dispatch() {
-        assert!(pragma("metrics").unwrap().is_some());
-        assert!(pragma("reset_spans").unwrap().is_some());
-        assert!(pragma("no_such_pragma").unwrap().is_none());
+        assert!(pragma("metrics", None).unwrap().is_some());
+        assert!(pragma("reset_spans", None).unwrap().is_some());
+        assert!(pragma("reset_query_log", None).unwrap().is_some());
+        assert!(pragma("reset_progress", None).unwrap().is_some());
+        assert!(pragma("no_such_pragma", None).unwrap().is_none());
+        assert!(pragma("slow_query_ms", Some(&PragmaValue::Int(-1))).is_err());
+        assert!(pragma("query_log", Some(&PragmaValue::Int(1))).is_err());
+    }
+
+    #[test]
+    fn progress_and_query_log_rows_match_fields() {
+        let p = mduck_obs::QueryProgress::begin("SELECT introspect_progress");
+        p.add_total(4);
+        p.add_done(4);
+        p.finish();
+        let fields = progress_fields("p");
+        let rows = progress_rows();
+        assert!(rows.iter().all(|r| r.len() == fields.len()));
+        assert!(rows
+            .iter()
+            .any(|r| r[1] == Value::text("SELECT introspect_progress")));
+
+        mduck_obs::log_query(mduck_obs::QueryLogRecord {
+            id: mduck_obs::next_query_id(),
+            engine: "vecdb",
+            sql: "SELECT introspect_log".into(),
+            duration_us: 1500,
+            rows_returned: 1,
+            rows_scanned: 2,
+            guard_trip: Some("memory"),
+            mem_peak: 64,
+            threads: 1,
+            error: None,
+            profile: None,
+        });
+        let fields = query_log_fields("q");
+        let rows = query_log_rows();
+        assert!(rows.iter().all(|r| r.len() == fields.len()));
+        let row = rows
+            .iter()
+            .find(|r| r[2] == Value::text("SELECT introspect_log"))
+            .unwrap();
+        assert_eq!(row[3], Value::Float(1.5));
+        assert_eq!(row[6], Value::text("memory"));
+        assert_eq!(row[9], Value::Null);
+    }
+
+    #[test]
+    fn memory_limit_parsing_and_rendering() {
+        assert_eq!(parse_memory_limit(&PragmaValue::Str("8MB".into())).unwrap(), Some(8 << 20));
+        assert_eq!(parse_memory_limit(&PragmaValue::Int(4096)).unwrap(), Some(4096));
+        assert_eq!(parse_memory_limit(&PragmaValue::Int(0)).unwrap(), None);
+        assert_eq!(parse_memory_limit(&PragmaValue::Int(-1)).unwrap(), None);
+        assert_eq!(parse_memory_limit(&PragmaValue::Str("unlimited".into())).unwrap(), None);
+        assert!(parse_memory_limit(&PragmaValue::Str("lots".into())).is_err());
+        let (schema, rows) = memory_limit_result(Some(8 << 20));
+        assert_eq!(schema.fields[0].name, "memory_limit");
+        assert_eq!(rows[0][0], Value::text("8MB"));
+        let (_, rows) = memory_limit_result(None);
+        assert_eq!(rows[0][0], Value::text("unlimited"));
     }
 }

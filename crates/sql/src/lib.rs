@@ -23,7 +23,7 @@ pub mod parser;
 pub mod registry;
 pub mod value;
 
-pub use ast::{BinaryOp, Expr, InsertSource, SelectStmt, Statement, TableRef};
+pub use ast::{BinaryOp, Expr, InsertSource, PragmaValue, SelectStmt, Statement, TableRef};
 pub use binder::Binder;
 pub use bound::{
     cmp_order_keys, split_conjuncts, BoundAggregate, BoundExpr, BoundFrom, BoundOrder,
@@ -31,7 +31,7 @@ pub use bound::{
 };
 pub use error::{SqlError, SqlResult};
 pub use eval::{compare, eval, OuterStack, SubqueryExec};
-pub use guard::{CancelHandle, ExecGuard, ExecLimits};
+pub use guard::{CancelHandle, ExecGuard, ExecLimits, GuardTrip};
 pub use parser::{parse_script, parse_statement};
 pub use registry::{downcast_partial, AggState, Registry, ScalarFn, ScalarSig};
 pub use value::{ExtObject, ExtValue, LogicalType, Value};

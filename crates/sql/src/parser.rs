@@ -164,8 +164,15 @@ impl Parser {
                     self.pos += 1;
                 }
                 match self.next() {
-                    Token::Integer(n) => Some(if neg { -n } else { n }),
-                    t => return Err(self.error(&format!("expected integer after '=', got {t:?}"))),
+                    Token::Integer(n) => {
+                        Some(PragmaValue::Int(if neg { -n } else { n }))
+                    }
+                    Token::String(s) if !neg => Some(PragmaValue::Str(s)),
+                    t => {
+                        return Err(self.error(&format!(
+                            "expected integer or string after '=', got {t:?}"
+                        )))
+                    }
                 }
             } else {
                 None
@@ -1010,12 +1017,27 @@ mod tests {
         let st = parse_statement("pragma Reset_Metrics;").unwrap();
         assert_eq!(st, Statement::Pragma { name: "reset_metrics".into(), value: None });
         let st = parse_statement("PRAGMA threads = 4").unwrap();
-        assert_eq!(st, Statement::Pragma { name: "threads".into(), value: Some(4) });
+        assert_eq!(
+            st,
+            Statement::Pragma { name: "threads".into(), value: Some(PragmaValue::Int(4)) }
+        );
         let st = parse_statement("PRAGMA threads = -1").unwrap();
-        assert_eq!(st, Statement::Pragma { name: "threads".into(), value: Some(-1) });
+        assert_eq!(
+            st,
+            Statement::Pragma { name: "threads".into(), value: Some(PragmaValue::Int(-1)) }
+        );
+        let st = parse_statement("PRAGMA memory_limit = '8MB'").unwrap();
+        assert_eq!(
+            st,
+            Statement::Pragma {
+                name: "memory_limit".into(),
+                value: Some(PragmaValue::Str("8MB".into())),
+            }
+        );
         assert!(parse_statement("PRAGMA").is_err());
         assert!(parse_statement("PRAGMA threads =").is_err());
         assert!(parse_statement("PRAGMA threads = x").is_err());
+        assert!(parse_statement("PRAGMA threads = -'8MB'").is_err());
     }
 
     #[test]

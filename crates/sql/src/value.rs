@@ -90,6 +90,13 @@ pub trait ExtObject: Any + Send + Sync + fmt::Debug {
     fn cmp_obj(&self, other: &dyn ExtObject) -> Ordering {
         self.to_bytes().cmp(&other.to_bytes())
     }
+    /// Approximate heap footprint, for per-query memory accounting.
+    /// Must be O(1) — an estimate, not a serialization. Types whose size
+    /// varies by orders of magnitude (temporal sequences) should
+    /// override this; the default covers small fixed-shape objects.
+    fn approx_bytes(&self) -> u64 {
+        64
+    }
 }
 
 /// A runtime extension value.
@@ -175,6 +182,23 @@ impl Value {
             Value::Interval { .. } => LogicalType::Interval,
             Value::Ext(e) => LogicalType::ext(e.type_name()),
             Value::List(_) => LogicalType::List,
+        }
+    }
+
+    /// Approximate bytes this value occupies when materialized, for
+    /// per-query memory accounting. Shared payloads (`Arc` text, blobs,
+    /// lists) are counted at every reference: the accounting measures
+    /// what operators materialize, not unique ownership.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Value::Null | Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 8,
+            Value::Date(_) => 4,
+            Value::Interval { .. } => 16,
+            Value::Text(s) => 16 + s.len() as u64,
+            Value::Blob(b) => 16 + b.len() as u64,
+            Value::Ext(e) => 16 + e.obj.approx_bytes(),
+            Value::List(l) => 24 + l.iter().map(Value::approx_bytes).sum::<u64>(),
         }
     }
 

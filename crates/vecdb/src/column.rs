@@ -162,6 +162,36 @@ impl ColumnData {
         out
     }
 
+    /// Approximate bytes this column occupies, for per-query memory
+    /// accounting. Fixed-width payloads are exact; var-width ones sum
+    /// their payload lengths plus a small per-entry overhead. O(n) for
+    /// var-width columns, so call once per materialized chunk, not per
+    /// row.
+    pub fn approx_bytes(&self) -> u64 {
+        let n = self.len() as u64;
+        // Validity mask: one byte per row.
+        n + match &self.payload {
+            Payload::Bool(_) => n,
+            Payload::Int(_) | Payload::Float(_) | Payload::Timestamp(_) => n * 8,
+            Payload::Date(_) => n * 4,
+            Payload::Interval(_) => n * 16,
+            Payload::Text(p) => p.iter().map(|s| 16 + s.len() as u64).sum(),
+            Payload::Blob(p) => p.iter().map(|b| 16 + b.len() as u64).sum(),
+            Payload::Ext(p) => p
+                .iter()
+                .map(|e| 8 + e.as_ref().map_or(0, |e| e.obj.approx_bytes()))
+                .sum(),
+            Payload::List(p) => p
+                .iter()
+                .map(|l| {
+                    24 + l
+                        .as_ref()
+                        .map_or(0, |l| l.iter().map(Value::approx_bytes).sum::<u64>())
+                })
+                .sum(),
+        }
+    }
+
     /// Append a slice of another column of the same type.
     pub fn extend_from(&mut self, other: &ColumnData, start: usize, len: usize) {
         for i in start..start + len {
@@ -205,6 +235,11 @@ impl DataChunk {
         self.columns.iter().map(|c| c.get(i)).collect()
     }
 
+    /// Approximate bytes of every column vector in this chunk.
+    pub fn approx_bytes(&self) -> u64 {
+        self.columns.iter().map(ColumnData::approx_bytes).sum()
+    }
+
     /// Keep only the selected rows.
     pub fn select(&self, sel: &[usize]) -> DataChunk {
         DataChunk {
@@ -227,6 +262,11 @@ impl Chunks {
 
     pub fn num_columns(&self) -> usize {
         self.chunks.first().map(|c| c.columns.len()).unwrap_or(0)
+    }
+
+    /// Approximate bytes of the whole materialized relation.
+    pub fn approx_bytes(&self) -> u64 {
+        self.chunks.iter().map(DataChunk::approx_bytes).sum()
     }
 
     /// Iterate all rows (materializing values).

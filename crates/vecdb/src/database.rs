@@ -3,13 +3,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use mduck_sync::RwLock;
+use mduck_obs::QueryProgress;
+use mduck_sync::{Mutex, RwLock};
 
 use mduck_sql::ast::{InsertSource, SelectStmt, Statement};
 use mduck_sql::eval::{eval, OuterStack};
 use mduck_sql::{
-    parse_statement, Binder, Catalog, ExecGuard, ExecLimits, LogicalType, Registry, Schema,
-    SqlError, SqlResult, Value,
+    parse_statement, Binder, Catalog, ExecGuard, ExecLimits, LogicalType, PragmaValue, Registry,
+    Schema, SqlError, SqlResult, Value,
 };
 
 use crate::catalog::{DbCatalog, Table};
@@ -102,6 +103,11 @@ pub struct Database {
     limits: RwLock<ExecLimits>,
     /// Worker threads for morsel-driven execution; 0 = auto-detect.
     threads: std::sync::atomic::AtomicUsize,
+    /// Progress handle of the most recent SQL-text statement, pollable
+    /// from other threads via [`Database::progress`]. Kept after the
+    /// statement finishes (reporting `1.0`) until the next one replaces
+    /// it.
+    current_progress: Mutex<Option<Arc<QueryProgress>>>,
 }
 
 impl Default for Database {
@@ -119,7 +125,17 @@ impl Database {
             index_types: Arc::new(RwLock::new(IndexTypeRegistry::default())),
             limits: RwLock::new(ExecLimits::default()),
             threads: std::sync::atomic::AtomicUsize::new(0),
+            current_progress: Mutex::new(None),
         }
+    }
+
+    /// Completion estimate of the most recent [`Database::execute`] /
+    /// [`Database::execute_analyzed`] statement: monotonically
+    /// non-decreasing in `[0, 1]`, exactly `1.0` once finished, `None`
+    /// before any statement ran. Safe to poll from another thread while
+    /// the statement is still executing.
+    pub fn progress(&self) -> Option<f64> {
+        self.current_progress.lock().as_ref().map(|p| p.fraction())
     }
 
     /// Set the worker-thread count for morsel-driven execution; `0`
@@ -213,7 +229,8 @@ impl Database {
             });
         }
         let stmt = parse_timed(sql)?;
-        self.execute_statement(&stmt)
+        let guard = ExecGuard::new(&self.limits.read());
+        self.execute_logged(sql, &stmt, &guard)
     }
 
     /// Execute one SQL statement under a caller-supplied guard, so the
@@ -221,7 +238,77 @@ impl Database {
     /// another thread) or spend one budget across several statements.
     pub fn execute_with_guard(&self, sql: &str, guard: &ExecGuard) -> SqlResult<QueryResult> {
         let stmt = parse_timed(sql)?;
-        self.execute_statement_guarded(&stmt, guard)
+        self.execute_logged(sql, &stmt, guard)
+    }
+
+    /// Shared body of the SQL-text entry points: register live progress,
+    /// execute, then push one record to the query log. Statements that
+    /// arrive pre-parsed ([`Database::execute_statement`]) skip the log —
+    /// there is no SQL text to record for them.
+    fn execute_logged(
+        &self,
+        sql: &str,
+        stmt: &Statement,
+        guard: &ExecGuard,
+    ) -> SqlResult<QueryResult> {
+        let id = mduck_obs::next_query_id();
+        let sql_text = sql.trim().to_string();
+        let progress = QueryProgress::begin(&sql_text);
+        *self.current_progress.lock() = Some(Arc::clone(&progress));
+        let start = Instant::now();
+        // While the JSONL sink is live, SELECTs run under profiling so
+        // slow statements can attach their EXPLAIN ANALYZE text.
+        let (result, profile) = match stmt {
+            Statement::Select(sel) if mduck_obs::query_log_sink_active() => {
+                match catch_panics(|| {
+                    self.run_analyzed(sel, guard, Some(Arc::clone(&progress)))
+                }) {
+                    Ok(pq) => (Ok(pq.result), Some(pq.explain)),
+                    Err(e) => (Err(e), None),
+                }
+            }
+            _ => (
+                catch_panics(|| self.run_statement(stmt, guard, Some(Arc::clone(&progress)))),
+                None,
+            ),
+        };
+        let rows_returned = result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0);
+        let error = result.as_ref().err().map(|e| e.to_string());
+        self.finish_and_log(id, sql_text, &progress, start, guard, rows_returned, error, profile);
+        result
+    }
+
+    /// Finish the progress handle and append the statement's query-log
+    /// record. The profile text is attached only when the statement was at
+    /// least as slow as `PRAGMA slow_query_ms`.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_and_log(
+        &self,
+        id: u64,
+        sql: String,
+        progress: &QueryProgress,
+        start: Instant,
+        guard: &ExecGuard,
+        rows_returned: u64,
+        error: Option<String>,
+        profile: Option<String>,
+    ) {
+        progress.finish();
+        let duration = start.elapsed();
+        let slow = duration.as_millis() as u64 >= mduck_obs::slow_threshold_ms();
+        mduck_obs::log_query(mduck_obs::QueryLogRecord {
+            id,
+            engine: "vecdb",
+            sql,
+            duration_us: duration.as_micros() as u64,
+            rows_returned,
+            rows_scanned: guard.rows_scanned(),
+            guard_trip: guard.trip_label(),
+            mem_peak: guard.mem().peak(),
+            threads: self.effective_threads() as u32,
+            error,
+            profile: if slow { profile } else { None },
+        });
     }
 
     /// Execute a `;`-separated script, returning the last result.
@@ -250,10 +337,15 @@ impl Database {
         stmt: &Statement,
         guard: &ExecGuard,
     ) -> SqlResult<QueryResult> {
-        catch_panics(|| self.run_statement(stmt, guard))
+        catch_panics(|| self.run_statement(stmt, guard, None))
     }
 
-    fn run_statement(&self, stmt: &Statement, guard: &ExecGuard) -> SqlResult<QueryResult> {
+    fn run_statement(
+        &self,
+        stmt: &Statement,
+        guard: &ExecGuard,
+        progress: Option<Arc<QueryProgress>>,
+    ) -> SqlResult<QueryResult> {
         match stmt {
             Statement::Select(sel) => {
                 let m = mduck_obs::metrics();
@@ -270,7 +362,8 @@ impl Database {
                 };
                 m.vecdb_bind_ns.observe(bind_start.elapsed().as_nanos() as u64);
                 let ctx = EngineCtx::new(&self.catalog, &registry, guard)
-                    .with_threads(self.effective_threads());
+                    .with_threads(self.effective_threads())
+                    .with_progress(progress);
                 let rows = if plan.from.is_empty() {
                     let _s = mduck_obs::span("vecdb.exec");
                     let exec_start = Instant::now();
@@ -303,7 +396,7 @@ impl Database {
                     return Err(SqlError::Bind("EXPLAIN supports SELECT".into()));
                 };
                 let text = if *analyze {
-                    self.run_analyzed(sel, guard)?.explain
+                    self.run_analyzed(sel, guard, progress)?.explain
                 } else {
                     let registry = self.registry.read();
                     let mut binder = Binder::new(&self.catalog, &registry);
@@ -321,7 +414,7 @@ impl Database {
                     rows: vec![vec![Value::text(text)]],
                 })
             }
-            Statement::Pragma { name, value } => self.run_pragma(name, *value),
+            Statement::Pragma { name, value } => self.run_pragma(name, value.as_ref()),
             Statement::CreateTable { name, columns, if_not_exists } => {
                 let registry = self.registry.read();
                 let mut cols = Vec::with_capacity(columns.len());
@@ -377,9 +470,12 @@ impl Database {
 
     /// `PRAGMA threads [= N]` is an engine setting; everything else is
     /// shared introspection.
-    fn run_pragma(&self, name: &str, value: Option<i64>) -> SqlResult<QueryResult> {
+    fn run_pragma(&self, name: &str, value: Option<&PragmaValue>) -> SqlResult<QueryResult> {
         if name == "threads" {
             if let Some(v) = value {
+                let v = v.as_int().ok_or_else(|| {
+                    SqlError::Bind(format!("PRAGMA threads expects an integer, got {v:?}"))
+                })?;
                 if !(0..=MAX_THREADS as i64).contains(&v) {
                     return Err(SqlError::OutOfRange(format!(
                         "PRAGMA threads expects 0..={MAX_THREADS}, got {v}"
@@ -390,10 +486,16 @@ impl Database {
             let (schema, rows) = mduck_sql::introspect::threads_result(self.effective_threads());
             return Ok(QueryResult { schema, rows });
         }
-        if value.is_some() {
-            return Err(SqlError::Catalog(format!("pragma {name:?} does not take a value")));
+        if name == "memory_limit" {
+            if let Some(v) = value {
+                let limit = mduck_sql::introspect::parse_memory_limit(v)?;
+                self.limits.write().memory_limit = limit;
+            }
+            let (schema, rows) =
+                mduck_sql::introspect::memory_limit_result(self.limits.read().memory_limit);
+            return Ok(QueryResult { schema, rows });
         }
-        match mduck_sql::introspect::pragma(name)? {
+        match mduck_sql::introspect::pragma(name, value)? {
             Some((schema, rows)) => Ok(QueryResult { schema, rows }),
             None => Err(SqlError::Catalog(format!("unknown pragma {name:?}"))),
         }
@@ -408,12 +510,28 @@ impl Database {
             return Err(SqlError::Bind("execute_analyzed supports SELECT".into()));
         };
         let guard = ExecGuard::new(&self.limits.read());
-        catch_panics(|| self.run_analyzed(&sel, &guard))
+        let id = mduck_obs::next_query_id();
+        let sql_text = sql.trim().to_string();
+        let progress = QueryProgress::begin(&sql_text);
+        *self.current_progress.lock() = Some(Arc::clone(&progress));
+        let start = Instant::now();
+        let result = catch_panics(|| self.run_analyzed(&sel, &guard, Some(Arc::clone(&progress))));
+        let (rows_returned, error, profile) = match &result {
+            Ok(pq) => (pq.result.rows.len() as u64, None, Some(pq.explain.clone())),
+            Err(e) => (0, Some(e.to_string()), None),
+        };
+        self.finish_and_log(id, sql_text, &progress, start, &guard, rows_returned, error, profile);
+        result
     }
 
     /// Shared body of `EXPLAIN ANALYZE` and [`Database::execute_analyzed`]:
     /// plan once, execute the planned tree under profiling, render actuals.
-    fn run_analyzed(&self, sel: &SelectStmt, guard: &ExecGuard) -> SqlResult<ProfiledQuery> {
+    fn run_analyzed(
+        &self,
+        sel: &SelectStmt,
+        guard: &ExecGuard,
+        progress: Option<Arc<QueryProgress>>,
+    ) -> SqlResult<ProfiledQuery> {
         let m = mduck_obs::metrics();
         m.queries_executed.inc(1);
         m.active_queries.add(1);
@@ -428,7 +546,8 @@ impl Database {
         };
         m.vecdb_bind_ns.observe(bind_start.elapsed().as_nanos() as u64);
         let mut ctx = EngineCtx::new(&self.catalog, &registry, guard)
-            .with_threads(self.effective_threads());
+            .with_threads(self.effective_threads())
+            .with_progress(progress);
         ctx.enable_profiling();
         let plan_start = Instant::now();
         let (tree, remaining) = {
@@ -463,6 +582,7 @@ impl Database {
             operators,
             stages,
             total_ms,
+            mem_peak: guard.mem().peak(),
         })
     }
 
@@ -682,6 +802,8 @@ pub struct ProfiledQuery {
     pub stages: Vec<StageBreakdown>,
     /// End-to-end execution wall time.
     pub total_ms: f64,
+    /// Peak bytes tracked by the statement's memory scope.
+    pub mem_peak: u64,
 }
 
 /// Decrements the active-query gauge on drop (error paths included).

@@ -42,6 +42,9 @@ pub struct EngineCtx<'a> {
     /// Worker threads for morsel-driven execution (1 = serial). Set from
     /// the database's `PRAGMA threads` / config knob.
     pub threads: usize,
+    /// Live completion estimate for this statement, fed at morsel/chunk
+    /// granularity; `None` on paths nobody polls (subordinate executions).
+    pub progress: Option<Arc<mduck_obs::QueryProgress>>,
 }
 
 /// Actuals recorded for one physical operator across all its executions
@@ -55,6 +58,9 @@ pub struct OpProf {
     pub chunks_out: u64,
     /// Rows read from storage by this operator (scans only).
     pub rows_scanned: u64,
+    /// Bytes of buffers this operator materialized (charged against the
+    /// statement's memory guard as they were allocated).
+    pub mem_bytes: u64,
 }
 
 /// Actuals for one post-join stage (aggregate, projection, order_by, ...)
@@ -64,6 +70,9 @@ pub struct StageProf {
     pub execs: u64,
     pub elapsed_ns: u64,
     pub rows_out: u64,
+    /// Bytes of buffers this stage materialized (hash-agg group tables,
+    /// sort keys).
+    pub mem_bytes: u64,
 }
 
 /// Actuals of one *parallel* stage, aggregated across workers and (for
@@ -116,12 +125,19 @@ impl<'a> EngineCtx<'a> {
             used_index_scan: RefCell::new(false),
             profile: None,
             threads: 1,
+            progress: None,
         }
     }
 
     /// Builder: set the worker-thread count for this statement.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder: attach a live-progress handle for this statement.
+    pub fn with_progress(mut self, progress: Option<Arc<mduck_obs::QueryProgress>>) -> Self {
+        self.progress = progress;
         self
     }
 
@@ -160,6 +176,50 @@ impl<'a> EngineCtx<'a> {
             e.max_worker_ns = e.max_worker_ns.max(stats.max_worker_ns);
             e.morsels += stats.morsels();
             e.per_worker = stats.morsels_per_worker.clone();
+        }
+    }
+
+    /// Charge materialized bytes to the statement's memory guard and
+    /// attribute them to an operator node (under profiling). Fails when
+    /// the charge pushes the statement over `PRAGMA memory_limit`.
+    fn charge_op_mem(&self, key: usize, bytes: u64) -> SqlResult<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let check = self.guard.charge_mem(bytes);
+        self.attribute_op_mem(key, bytes);
+        check
+    }
+
+    /// Attribute bytes to an operator node *without* charging the guard —
+    /// used by coordinators for buffers morsel workers already charged
+    /// (workers share the guard but cannot touch the `RefCell` profile).
+    fn attribute_op_mem(&self, key: usize, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        if let Some(p) = &self.profile {
+            p.ops.borrow_mut().entry(key).or_default().mem_bytes += bytes;
+        }
+    }
+
+    /// Charge + attribute for a post-join stage (aggregate, order_by).
+    fn charge_stage_mem(&self, plan: &BoundSelect, name: &'static str, bytes: u64) -> SqlResult<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let check = self.guard.charge_mem(bytes);
+        self.attribute_stage_mem(plan, name, bytes);
+        check
+    }
+
+    /// Profile-only attribution for worker-charged stage buffers.
+    fn attribute_stage_mem(&self, plan: &BoundSelect, name: &'static str, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        if let Some(p) = &self.profile {
+            p.stages.borrow_mut().entry((plan_key(plan), name)).or_default().mem_bytes += bytes;
         }
     }
 }
@@ -211,6 +271,14 @@ pub enum PhysOp {
     },
     /// `mduck_spans()`: snapshot of the tracing-span ring buffer.
     SpansScan {
+        types: Vec<LogicalType>,
+    },
+    /// `mduck_progress()`: snapshot of the live-progress registry.
+    ProgressScan {
+        types: Vec<LogicalType>,
+    },
+    /// `mduck_query_log()`: snapshot of the query-log history.
+    QueryLogScan {
         types: Vec<LogicalType>,
     },
     Filter {
@@ -369,6 +437,12 @@ fn base_relation(f: &BoundFrom) -> SqlResult<PhysOp> {
         BoundFrom::Spans { schema, .. } => PhysOp::SpansScan {
             types: schema.fields.iter().map(|fl| fl.ty.clone()).collect(),
         },
+        BoundFrom::Progress { schema, .. } => PhysOp::ProgressScan {
+            types: schema.fields.iter().map(|fl| fl.ty.clone()).collect(),
+        },
+        BoundFrom::QueryLog { schema, .. } => PhysOp::QueryLogScan {
+            types: schema.fields.iter().map(|fl| fl.ty.clone()).collect(),
+        },
     })
 }
 
@@ -381,6 +455,8 @@ pub fn op_name(op: &PhysOp) -> &'static str {
         PhysOp::SubqueryScan { .. } => "subquery_scan",
         PhysOp::Series { .. } => "generate_series",
         PhysOp::SpansScan { .. } => "spans_scan",
+        PhysOp::ProgressScan { .. } => "progress_scan",
+        PhysOp::QueryLogScan { .. } => "query_log_scan",
         PhysOp::Filter { .. } => "filter",
         PhysOp::HashJoin { .. } => "hash_join",
         PhysOp::CrossJoin { .. } => "cross_product",
@@ -509,6 +585,7 @@ pub fn execute_op(
 /// global metric, and (under profiling) the scan node itself.
 fn note_scanned(ctx: &EngineCtx<'_>, op: &PhysOp, n: usize) -> SqlResult<()> {
     ctx.guard.check_rows(n)?;
+    ctx.guard.note_scanned(n);
     *ctx.rows_scanned.borrow_mut() += n;
     mduck_obs::metrics().rows_scanned.inc(n as u64);
     if let Some(p) = &ctx.profile {
@@ -530,24 +607,47 @@ fn run_op(
             mduck_obs::metrics().full_scans.inc(1);
             note_scanned(ctx, op, t.row_count())?;
             let n = t.chunk_count();
+            if let Some(pr) = &ctx.progress {
+                pr.add_total(n as u64);
+            }
             if ctx.parallel_ok(outer) && n >= MIN_PARALLEL_MORSELS {
                 // Parallel materialization: each morsel is one chunk range
                 // of the column store, claimed dynamically and reassembled
-                // in row order.
+                // in row order. Workers charge the shared memory guard as
+                // they materialize, so `PRAGMA memory_limit` trips
+                // mid-flight; the coordinator attributes the bytes to the
+                // node afterwards (the profile is not thread-safe).
                 let guard = ctx.guard;
                 let table = &*t;
+                let progress = ctx.progress.as_deref();
                 let (chunks, stats) = morsel_map(ctx.threads, n, |i| {
                     guard.tick()?;
-                    Ok(table.chunk_at(i))
+                    let chunk = table.chunk_at(i);
+                    let bytes = chunk.approx_bytes();
+                    guard.charge_mem(bytes)?;
+                    if let Some(pr) = progress {
+                        pr.add_done(1);
+                    }
+                    Ok((chunk, bytes))
                 })?;
                 if let Some(stats) = &stats {
                     ctx.record_parallel(op_key(op), "scan", stats);
                 }
                 let mut out = Chunks::default();
-                out.chunks = chunks;
+                let mut bytes = 0u64;
+                for (chunk, b) in chunks {
+                    bytes += b;
+                    out.chunks.push(chunk);
+                }
+                ctx.attribute_op_mem(op_key(op), bytes);
                 Ok(out)
             } else {
-                Ok(t.scan_chunks())
+                let out = t.scan_chunks();
+                if let Some(pr) = &ctx.progress {
+                    pr.add_done(n as u64);
+                }
+                ctx.charge_op_mem(op_key(op), out.approx_bytes())?;
+                Ok(out)
             }
         }
         PhysOp::IndexScan { table, index: _, op: iop, constant, fallback } => {
@@ -565,13 +665,16 @@ fn run_op(
                     rows.sort_unstable();
                     mduck_obs::metrics().index_probes.inc(1);
                     note_scanned(ctx, op, rows.len())?;
-                    Ok(t.gather_rows(&rows))
+                    let out = t.gather_rows(&rows);
+                    ctx.charge_op_mem(op_key(op), out.approx_bytes())?;
+                    Ok(out)
                 }
                 None => {
                     // Index declined: sequential scan + original filter.
                     mduck_obs::metrics().full_scans.inc(1);
                     note_scanned(ctx, op, t.row_count())?;
                     let chunks = t.scan_chunks();
+                    ctx.charge_op_mem(op_key(op), chunks.approx_bytes())?;
                     filter_chunks(ctx, chunks, fallback, outer, &exec, op_key(op))
                 }
             }
@@ -581,11 +684,16 @@ fn run_op(
             let mat = ctes
                 .get(index)
                 .ok_or_else(|| SqlError::execution(format!("CTE {index} not materialized")))?;
-            Ok((**mat).clone())
+            let out = (**mat).clone();
+            drop(ctes);
+            ctx.charge_op_mem(op_key(op), out.approx_bytes())?;
+            Ok(out)
         }
         PhysOp::SubqueryScan { plan, types } => {
             let rows = execute_select(ctx, plan, outer)?;
-            Chunks::from_rows(types, &rows)
+            let out = Chunks::from_rows(types, &rows)?;
+            ctx.charge_op_mem(op_key(op), out.approx_bytes())?;
+            Ok(out)
         }
         PhysOp::Series { args } => {
             let vals: SqlResult<Vec<Value>> =
@@ -624,12 +732,29 @@ fn run_op(
                 ctx.guard.check_rows(chunk.len)?;
                 out.chunks.push(chunk);
             }
+            ctx.charge_op_mem(op_key(op), out.approx_bytes())?;
             Ok(out)
         }
         PhysOp::SpansScan { types } => {
             let rows = mduck_sql::introspect::span_rows();
             ctx.guard.check_rows(rows.len())?;
-            Chunks::from_rows(types, &rows)
+            let out = Chunks::from_rows(types, &rows)?;
+            ctx.charge_op_mem(op_key(op), out.approx_bytes())?;
+            Ok(out)
+        }
+        PhysOp::ProgressScan { types } => {
+            let rows = mduck_sql::introspect::progress_rows();
+            ctx.guard.check_rows(rows.len())?;
+            let out = Chunks::from_rows(types, &rows)?;
+            ctx.charge_op_mem(op_key(op), out.approx_bytes())?;
+            Ok(out)
+        }
+        PhysOp::QueryLogScan { types } => {
+            let rows = mduck_sql::introspect::query_log_rows();
+            ctx.guard.check_rows(rows.len())?;
+            let out = Chunks::from_rows(types, &rows)?;
+            ctx.charge_op_mem(op_key(op), out.approx_bytes())?;
+            Ok(out)
         }
         PhysOp::Filter { pred, child } => {
             let input = execute_op(ctx, child, outer)?;
@@ -638,12 +763,12 @@ fn run_op(
         PhysOp::CrossJoin { left, right } => {
             let l = execute_op(ctx, left, outer)?;
             let r = execute_op(ctx, right, outer)?;
-            cross_join(ctx, &l, &r)
+            cross_join(ctx, &l, &r, op_key(op))
         }
         PhysOp::HashJoin { left, right, left_keys, right_keys } => {
             let l = execute_op(ctx, left, outer)?;
             let r = execute_op(ctx, right, outer)?;
-            hash_join(ctx, &l, &r, left_keys, right_keys, outer, &exec)
+            hash_join(ctx, &l, &r, left_keys, right_keys, outer, &exec, op_key(op))
         }
     }
 }
@@ -660,12 +785,16 @@ fn filter_chunks(
     exec: &dyn SubqueryExec,
     key: usize,
 ) -> SqlResult<Chunks> {
+    if let Some(pr) = &ctx.progress {
+        pr.add_total(input.chunks.len() as u64);
+    }
     if ctx.parallel_ok(outer)
         && !pred.is_complex()
         && input.chunks.len() >= MIN_PARALLEL_MORSELS
     {
         let guard = ctx.guard;
         let chunks = &input.chunks;
+        let progress = ctx.progress.as_deref();
         let (results, stats) = morsel_map(ctx.threads, chunks.len(), |i| {
             guard.tick()?;
             let chunk = &chunks[i];
@@ -678,7 +807,14 @@ fn filter_chunks(
             } else {
                 Some(chunk.select(&sel))
             };
-            Ok((kept, dropped))
+            // The kept copy is a fresh buffer: charge the shared guard
+            // from the worker so the memory limit trips mid-stage.
+            let bytes = kept.as_ref().map_or(0, DataChunk::approx_bytes);
+            guard.charge_mem(bytes)?;
+            if let Some(pr) = progress {
+                pr.add_done(1);
+            }
+            Ok((kept, dropped, bytes))
         })?;
         if let Some(stats) = &stats {
             ctx.record_parallel(key, "filter", stats);
@@ -687,13 +823,16 @@ fn filter_chunks(
         // into the global registry exactly once per stage.
         let mut counters = mduck_obs::WorkerCounters::default();
         let mut out = Chunks::default();
-        for (kept, dropped) in results {
+        let mut bytes = 0u64;
+        for (kept, dropped, b) in results {
             counters.rows_filtered += dropped;
+            bytes += b;
             if let Some(c) = kept {
                 out.chunks.push(c);
             }
         }
         counters.flush();
+        ctx.attribute_op_mem(key, bytes);
         return Ok(out);
     }
     let mut out = Chunks::default();
@@ -707,7 +846,11 @@ fn filter_chunks(
         } else if !sel.is_empty() {
             out.chunks.push(chunk.select(&sel));
         }
+        if let Some(pr) = &ctx.progress {
+            pr.add_done(1);
+        }
     }
+    ctx.charge_op_mem(key, out.approx_bytes())?;
     mduck_obs::metrics().rows_filtered.inc(dropped);
     Ok(out)
 }
@@ -731,14 +874,17 @@ fn chunk_types(chunks: &Chunks) -> Vec<LogicalType> {
         .unwrap_or_default()
 }
 
-fn cross_join(ctx: &EngineCtx<'_>, l: &Chunks, r: &Chunks) -> SqlResult<Chunks> {
+fn cross_join(ctx: &EngineCtx<'_>, l: &Chunks, r: &Chunks, key: usize) -> SqlResult<Chunks> {
     let rtypes = chunk_types(r);
     let rflat = flatten(r, rtypes);
+    // The flattened build side is a fresh buffer; output chunks are
+    // charged as they are produced so a runaway product trips the memory
+    // limit (or the row budget, whichever is tighter) mid-flight.
+    ctx.charge_op_mem(key, rflat.approx_bytes())?;
     let mut out = Chunks::default();
     for lchunk in &l.chunks {
         // For each left row, repeat it against every right row. The guard
-        // is charged per output chunk: a runaway product trips the row
-        // budget long before memory does.
+        // is charged per output chunk.
         let mut lsel = Vec::new();
         let mut rsel = Vec::new();
         for li in 0..lchunk.len {
@@ -747,7 +893,9 @@ fn cross_join(ctx: &EngineCtx<'_>, l: &Chunks, r: &Chunks) -> SqlResult<Chunks> 
                 rsel.push(ri);
                 if lsel.len() >= VECTOR_SIZE {
                     ctx.guard.check_rows(lsel.len())?;
-                    out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
+                    let chunk = combine(lchunk, &lsel, &rflat, &rsel);
+                    ctx.charge_op_mem(key, chunk.approx_bytes())?;
+                    out.chunks.push(chunk);
                     lsel.clear();
                     rsel.clear();
                 }
@@ -755,7 +903,9 @@ fn cross_join(ctx: &EngineCtx<'_>, l: &Chunks, r: &Chunks) -> SqlResult<Chunks> 
         }
         if !lsel.is_empty() {
             ctx.guard.check_rows(lsel.len())?;
-            out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
+            let chunk = combine(lchunk, &lsel, &rflat, &rsel);
+            ctx.charge_op_mem(key, chunk.approx_bytes())?;
+            out.chunks.push(chunk);
         }
     }
     mduck_obs::metrics().rows_joined.inc(out.row_count() as u64);
@@ -773,6 +923,7 @@ fn combine(l: &DataChunk, lsel: &[usize], r: &DataChunk, rsel: &[usize]) -> Data
     DataChunk::from_columns(cols)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn hash_join(
     ctx: &EngineCtx<'_>,
     l: &Chunks,
@@ -781,10 +932,14 @@ fn hash_join(
     right_keys: &[BoundExpr],
     outer: &OuterStack<'_>,
     exec: &dyn SubqueryExec,
+    key_op: usize,
 ) -> SqlResult<Chunks> {
-    // Build on the right side.
+    // Build on the right side. The flattened build chunk plus a rough
+    // per-entry estimate for the hash table itself are charged up front —
+    // the build side is the operator's dominant allocation.
     let rtypes = chunk_types(r);
     let rflat = flatten(r, rtypes);
+    ctx.charge_op_mem(key_op, rflat.approx_bytes() + rflat.len as u64 * 48)?;
     let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(rflat.len);
     if rflat.len > 0 {
         let key_cols: SqlResult<Vec<ColumnData>> = right_keys
@@ -842,7 +997,9 @@ fn hash_join(
                     rsel.push(ri);
                     if lsel.len() >= VECTOR_SIZE {
                         ctx.guard.check_rows(lsel.len())?;
-                        out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
+                        let chunk = combine(lchunk, &lsel, &rflat, &rsel);
+                        ctx.charge_op_mem(key_op, chunk.approx_bytes())?;
+                        out.chunks.push(chunk);
                         lsel.clear();
                         rsel.clear();
                     }
@@ -851,7 +1008,9 @@ fn hash_join(
         }
         if !lsel.is_empty() {
             ctx.guard.check_rows(lsel.len())?;
-            out.chunks.push(combine(lchunk, &lsel, &rflat, &rsel));
+            let chunk = combine(lchunk, &lsel, &rflat, &rsel);
+            ctx.charge_op_mem(key_op, chunk.approx_bytes())?;
+            out.chunks.push(chunk);
         }
     }
     mduck_obs::metrics().rows_joined.inc(out.row_count() as u64);
@@ -949,6 +1108,10 @@ fn execute_select_inner(
             let guard = ctx.guard;
             let chunks = &input.chunks;
             let projections = &plan.projections;
+            let progress = ctx.progress.as_deref();
+            if let Some(pr) = progress {
+                pr.add_total(chunks.len() as u64);
+            }
             let (parts, stats) = morsel_map(ctx.threads, chunks.len(), |ci| {
                 let chunk = &chunks[ci];
                 guard.check_rows(chunk.len)?;
@@ -964,6 +1127,9 @@ fn execute_select_inner(
                     if needs_env {
                         env.push(chunk.row(i));
                     }
+                }
+                if let Some(pr) = progress {
+                    pr.add_done(1);
                 }
                 Ok((rows, env))
             })?;
@@ -1040,6 +1206,7 @@ fn execute_select_inner(
     if !plan.order_by.is_empty() {
         let t = Instant::now();
         let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(out_rows.len());
+        let mut key_bytes = 0u64;
         for (i, row) in out_rows.into_iter().enumerate() {
             let mut keys = Vec::with_capacity(plan.order_by.len());
             for o in &plan.order_by {
@@ -1047,10 +1214,14 @@ fn execute_select_inner(
                     SortKey::Output(j) => row[*j].clone(),
                     SortKey::Input(e) => eval(e, &env_kept[i], outer, &exec)?,
                 };
+                key_bytes += 32 + v.approx_bytes();
                 keys.push(v);
             }
             keyed.push((keys, row));
         }
+        // The sort key vector is the stage's own allocation (rows are
+        // moved, not copied).
+        ctx.charge_stage_mem(plan, "order_by", key_bytes)?;
         let mut cmp_err = None;
         keyed.sort_by(|(a, _), (b, _)| {
             mduck_sql::cmp_order_keys(a, b, &plan.order_by, &mut cmp_err)
@@ -1172,6 +1343,18 @@ fn aggregate(
             .collect();
         Ok((key_cols?, arg_cols?))
     };
+    // Per-group footprint estimate: key bytes, key values, and a flat
+    // allowance per aggregate state. Charged against the shared guard as
+    // groups are *created* — in two-phase workers too, where the shared
+    // root accumulating across partials is exactly what lets an oversized
+    // hash table trip `PRAGMA memory_limit` mid-flight.
+    let nstates = plan.aggregates.len() as u64;
+    let group_bytes = |g: &Group| -> u64 {
+        64 + g.key_bytes.len() as u64
+            + g.keys.iter().map(Value::approx_bytes).sum::<u64>()
+            + nstates * 48
+    };
+    let guard = ctx.guard;
     // Fold one chunk's evaluated columns into a group set, row by row.
     let fold_cols = |set: &mut GroupSet,
                      len: usize,
@@ -1193,6 +1376,7 @@ fn aggregate(
                     let gi = set.groups.len();
                     set.index.insert(key.clone(), gi);
                     set.groups.push(make_group(key.clone(), keys));
+                    guard.charge_mem(group_bytes(&set.groups[gi]))?;
                     gi
                 }
             };
@@ -1229,13 +1413,16 @@ fn aggregate(
         && plan.aggregates.iter().all(|a| (a.factory)().exact_merge());
 
     let mut set = GroupSet::default();
+    let progress = ctx.progress.as_deref();
     if two_phase {
         // Phase 1: contiguous chunk ranges → partial group sets. Ranges
         // (rather than dynamic single-chunk claiming) keep every state's
         // update order a subsequence of the serial order.
-        let guard = ctx.guard;
         let chunks = &input.chunks;
         let ranges = contiguous_ranges(n, ctx.threads);
+        if let Some(pr) = progress {
+            pr.add_total(ranges.len() as u64);
+        }
         let (partials, stats) = morsel_map(ctx.threads, ranges.len(), |ri| {
             let mut part = GroupSet::default();
             for chunk in &chunks[ranges[ri].clone()] {
@@ -1243,6 +1430,9 @@ fn aggregate(
                 let (key_cols, arg_cols) =
                     eval_cols(chunk, &OuterStack::EMPTY, &NoSubqueries)?;
                 fold_cols(&mut part, chunk.len, &key_cols, &arg_cols)?;
+            }
+            if let Some(pr) = progress {
+                pr.add_done(1);
             }
             Ok(part)
         })?;
@@ -1269,12 +1459,17 @@ fn aggregate(
         }
     } else if parallel {
         // Hybrid: parallel expression evaluation, serial state fold.
-        let guard = ctx.guard;
         let chunks = &input.chunks;
+        if let Some(pr) = progress {
+            pr.add_total(n as u64);
+        }
         let (cols, stats) = morsel_map(ctx.threads, n, |i| {
             let chunk = &chunks[i];
             guard.check_rows(chunk.len)?;
             let (key_cols, arg_cols) = eval_cols(chunk, &OuterStack::EMPTY, &NoSubqueries)?;
+            if let Some(pr) = progress {
+                pr.add_done(1);
+            }
             Ok((chunk.len, key_cols, arg_cols))
         })?;
         if let Some(stats) = &stats {
@@ -1285,12 +1480,25 @@ fn aggregate(
             fold_cols(&mut set, *len, key_cols, arg_cols)?;
         }
     } else {
+        if let Some(pr) = progress {
+            pr.add_total(input.chunks.len() as u64);
+        }
         for chunk in &input.chunks {
             ctx.guard.check_rows(chunk.len)?;
             let (key_cols, arg_cols) = eval_cols(chunk, outer, &exec)?;
             fold_cols(&mut set, chunk.len, &key_cols, &arg_cols)?;
+            if let Some(pr) = progress {
+                pr.add_done(1);
+            }
         }
     }
+    // Attribute the surviving group table to the stage for `EXPLAIN
+    // ANALYZE`; the guard was already charged group-by-group above.
+    ctx.attribute_stage_mem(
+        plan,
+        "aggregate",
+        set.groups.iter().map(&group_bytes).sum::<u64>(),
+    );
 
     // GROUP BY with no groups in the input and no keys still yields one row
     // (global aggregate); with keys it yields nothing.

@@ -106,10 +106,16 @@ fn render(
 
 fn stage_lines(a: &AnalyzeData<'_>, stage: &'static str) -> Vec<String> {
     let mut lines = match a.profile.stages.borrow().get(&(a.plan_key, stage)) {
-        Some(s) => vec![
-            format!("actual: {:.3} ms", s.elapsed_ns as f64 / 1e6),
-            format!("rows: {}", s.rows_out),
-        ],
+        Some(s) => {
+            let mut l = vec![
+                format!("actual: {:.3} ms", s.elapsed_ns as f64 / 1e6),
+                format!("rows: {}", s.rows_out),
+            ];
+            if s.mem_bytes > 0 {
+                l.push(format!("mem: {}", mduck_obs::format_bytes(s.mem_bytes)));
+            }
+            l
+        }
         None => Vec::new(),
     };
     lines.extend(par_lines(a.profile, a.plan_key, stage));
@@ -170,6 +176,9 @@ fn op_lines(a: &AnalyzeData<'_>, op: &PhysOp) -> Vec<String> {
         format!("rows: {} → {}", rows_in, p.rows_out),
         format!("chunks: {}", p.chunks_out),
     ];
+    if p.mem_bytes > 0 {
+        lines.push(format!("mem: {}", mduck_obs::format_bytes(p.mem_bytes)));
+    }
     if p.execs > 1 {
         lines.push(format!("execs: {}", p.execs));
     }
@@ -193,6 +202,8 @@ fn render_op(out: &mut String, op: &PhysOp, analyze: Option<&AnalyzeData<'_>>) {
         PhysOp::SubqueryScan { .. } => ("SUBQUERY_SCAN", vec![], false),
         PhysOp::Series { .. } => ("GENERATE_SERIES", vec![], false),
         PhysOp::SpansScan { .. } => ("SPANS_SCAN", vec!["mduck_spans()".into()], false),
+        PhysOp::ProgressScan { .. } => ("PROGRESS_SCAN", vec!["mduck_progress()".into()], false),
+        PhysOp::QueryLogScan { .. } => ("QUERY_LOG_SCAN", vec!["mduck_query_log()".into()], false),
         PhysOp::Filter { pred, .. } => ("FILTER", vec![format!("{pred:?}")], true),
         PhysOp::HashJoin { left_keys, right_keys, .. } => (
             "HASH_JOIN",
@@ -238,6 +249,9 @@ pub struct OpBreakdown {
     pub rows_out: u64,
     pub chunks_out: u64,
     pub rows_scanned: u64,
+    /// Bytes of output/state this operator materialized (charged against
+    /// the statement's memory scope).
+    pub mem_bytes: u64,
 }
 
 /// One post-join stage's actuals of the top-level plan (bench exports,
@@ -248,6 +262,8 @@ pub struct StageBreakdown {
     pub execs: u64,
     pub elapsed_ms: f64,
     pub rows_out: u64,
+    /// Bytes of state this stage materialized (sort keys, group states).
+    pub mem_bytes: u64,
 }
 
 /// Flatten the top-level plan's stage actuals, sorted by stage name.
@@ -261,6 +277,7 @@ pub fn stage_breakdown(plan_key: usize, profile: &Profile) -> Vec<StageBreakdown
             execs: s.execs,
             elapsed_ms: s.elapsed_ns as f64 / 1e6,
             rows_out: s.rows_out,
+            mem_bytes: s.mem_bytes,
         })
         .collect();
     out.sort_by_key(|s| s.stage);
@@ -293,6 +310,7 @@ pub fn op_breakdown(tree: &PhysOp, profile: &Profile) -> Vec<OpBreakdown> {
             rows_out: p.rows_out,
             chunks_out: p.chunks_out,
             rows_scanned: p.rows_scanned,
+            mem_bytes: p.mem_bytes,
         });
         // Preorder: children pushed right-to-left.
         for c in op_children(op).into_iter().rev() {

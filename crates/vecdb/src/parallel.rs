@@ -84,10 +84,16 @@ where
     let queue = MorselQueue::new(n);
     let queue = &queue;
     let work = &work;
+    // Span stacks are thread-local, so a worker thread would otherwise
+    // record its span as a root: capture the coordinator's current span
+    // and re-parent every worker span under it, keeping `mduck_spans()`
+    // trees connected across the pool.
+    let parent = mduck_obs::current_span_id();
     let joined: Vec<std::thread::Result<WorkerOut<T>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
+                    let _span = mduck_obs::span_with_parent("vecdb.worker", parent);
                     let start = Instant::now();
                     let mut items = Vec::new();
                     let mut err = None;

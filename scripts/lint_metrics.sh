@@ -40,7 +40,44 @@ if [ -n "$dupes" ]; then
 fi
 
 count=$(echo "$names" | wc -l)
+
+# ---------------------------------------------------------------- query log
+# The query-log JSONL sink and the `mduck_query_log()` table function are
+# a persisted contract: every field `json_line` emits must be snake_case,
+# unique, and present as a column of the table function (the table adds
+# `query_id`/`duration_ms` in place of the raw `id`/`duration_us`).
+
+qlog=crates/obs/src/querylog.rs
+schema=crates/sql/src/introspect.rs
+
+# Nullable fields emit the same name from both match arms, so collapse
+# repeats; ordering is irrelevant to the JSON contract.
+jfields=$(sed -n '/fn json_line/,/^}/p' "$qlog" \
+  | grep -oE 'push(_str)?_field\(&mut out, "[a-z0-9_]+"' \
+  | grep -oE '"[a-z0-9_]+"' | tr -d '"' | sort -u)
+
+if [ -z "$jfields" ]; then
+  echo "lint_metrics: no JSONL fields found in $qlog json_line" >&2
+  status=1
+fi
+
+cols=$(sed -n '/fn query_log_fields/,/^}/p' "$schema" \
+  | grep -oE 'f\("[a-z0-9_]+"' | grep -oE '"[a-z0-9_]+"' | tr -d '"')
+
+for fld in $jfields; do
+  case "$fld" in
+    id) want=query_id ;;
+    duration_us) want=duration_ms ;;
+    *) want=$fld ;;
+  esac
+  if ! echo "$cols" | grep -qx "$want"; then
+    echo "lint_metrics: JSONL field '$fld' has no mduck_query_log() column '$want'" >&2
+    status=1
+  fi
+done
+
+jcount=$(echo "$jfields" | wc -l)
 if [ "$status" -eq 0 ]; then
-  echo "lint_metrics: $count metric names OK"
+  echo "lint_metrics: $count metric names, $jcount query-log fields OK"
 fi
 exit "$status"

@@ -32,6 +32,12 @@ echo "== parallel execution matrix =="
 MDUCK_THREADS=1 cargo test -q -p mduck-integration --test parallel_exec
 MDUCK_THREADS=4 cargo test -q -p mduck-integration --test parallel_exec
 
+echo "== resource observability =="
+# Memory-limit trips, progress monotonicity, and the query-log contract
+# must hold with a real worker pool, not just the serial path: parallel
+# workers charge the same statement scope and must surface the trip.
+MDUCK_THREADS=4 cargo test -q -p mduck-integration --test resource_obs
+
 echo "== clippy =="
 # Scoped to the bug classes this codebase has actually shipped
 # (panicking arithmetic/slicing in parsers); unwrap/expect policing is

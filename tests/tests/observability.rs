@@ -85,6 +85,7 @@ fn vec_explain_analyze_golden() {
         "#N ASC",
         "actual: N ms",
         "rows: N",
+        "mem: NB",
         "PROJECTION",
         "col#N",
         "col#N",
@@ -95,16 +96,19 @@ fn vec_explain_analyze_golden() {
         "count([])",
         "actual: N ms",
         "rows: N",
+        "mem: NB",
         "FILTER",
         "(col#N > lit(Float(N)))",
         "actual: N ms",
         "rows: N → N",
         "chunks: N",
+        "mem: NB",
         "SEQ_SCAN",
         "pts",
         "actual: N ms",
         "rows: N → N",
         "chunks: N",
+        "mem: NB",
     ];
     assert_eq!(got, want, "masked EXPLAIN ANALYZE drifted:\n{}", r.rows[0][0]);
 }
