@@ -237,8 +237,10 @@ impl BerlinModData {
             }
         }
         for (name, rows) in self.table_rows() {
-            let t = db.catalog.get(name)?;
-            t.write().append_rows(&rows)?;
+            // The engine's bulk commit path: atomic, WAL-logged when a
+            // WAL is attached, so loaded datasets are as durable as any
+            // INSERT statement.
+            db.insert_rows(name, &rows)?;
         }
         Ok(())
     }
@@ -253,8 +255,7 @@ impl BerlinModData {
             }
         }
         for (name, rows) in self.table_rows() {
-            let t = db.catalog.get(name)?;
-            t.write().append_rows(rows)?;
+            db.insert_rows(name, rows)?;
         }
         if with_indexes {
             for stmt in Self::index_ddl().split(';') {

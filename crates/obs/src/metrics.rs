@@ -279,6 +279,15 @@ define_metrics! {
         morsels_dispatched,
         spans_dropped,
         queries_logged,
+        querylog_sink_errors,
+        wal_records_appended,
+        wal_bytes_written,
+        wal_checkpoints,
+        wal_auto_checkpoints,
+        wal_recoveries,
+        wal_records_replayed,
+        wal_torn_tails,
+        wal_failpoint_trips,
     }
     gauges {
         active_queries,
@@ -293,6 +302,9 @@ define_metrics! {
         rowdb_parse_ns,
         rowdb_bind_ns,
         rowdb_exec_ns,
+        wal_append_ns,
+        wal_checkpoint_ns,
+        wal_recovery_ns,
     }
 }
 // lint-metrics-end

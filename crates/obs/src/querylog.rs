@@ -53,9 +53,26 @@ pub struct QueryLogRecord {
     pub profile: Option<String>,
 }
 
+/// The JSONL sink file. Dropping it (sink re-pointed or disabled)
+/// flushes and fsyncs so already-logged lines survive a crash right
+/// after the configuration change.
+#[derive(Debug)]
+struct Sink {
+    path: String,
+    file: File,
+}
+
+impl Drop for Sink {
+    fn drop(&mut self) {
+        if self.file.flush().is_err() || self.file.sync_all().is_err() {
+            metrics().querylog_sink_errors.inc(1);
+        }
+    }
+}
+
 struct LogState {
     history: VecDeque<QueryLogRecord>,
-    sink: Option<(String, File)>,
+    sink: Option<Sink>,
 }
 
 fn state() -> &'static Mutex<LogState> {
@@ -66,7 +83,7 @@ fn state() -> &'static Mutex<LogState> {
             if trimmed.is_empty() {
                 return None;
             }
-            open_sink(&trimmed).ok().map(|f| (trimmed, f))
+            open_sink(&trimmed).ok().map(|f| Sink { path: trimmed, file: f })
         });
         Mutex::new(LogState { history: VecDeque::with_capacity(64), sink })
     })
@@ -86,10 +103,13 @@ pub fn next_query_id() -> u64 {
 pub fn log_query(record: QueryLogRecord) {
     metrics().queries_logged.inc(1);
     let mut st = state().lock();
-    if let Some((_, file)) = &mut st.sink {
+    if let Some(sink) = &mut st.sink {
         let line = json_line(&record);
-        // A failing sink must never fail the query; drop the line.
-        let _ = writeln!(file, "{line}");
+        // A failing sink must never fail the query: the line is
+        // dropped, but the failure is counted, not swallowed.
+        if writeln!(sink.file, "{line}").is_err() {
+            metrics().querylog_sink_errors.inc(1);
+        }
     }
     if st.history.len() >= QUERY_LOG_CAP {
         st.history.pop_front();
@@ -105,7 +125,7 @@ pub fn set_query_log_sink(path: Option<&str>) -> std::io::Result<()> {
     match path {
         Some(p) if !p.trim().is_empty() => {
             let p = p.trim();
-            st.sink = Some((p.to_string(), open_sink(p)?));
+            st.sink = Some(Sink { path: p.to_string(), file: open_sink(p)? });
         }
         _ => st.sink = None,
     }
@@ -114,7 +134,7 @@ pub fn set_query_log_sink(path: Option<&str>) -> std::io::Result<()> {
 
 /// Path of the active JSONL sink, if one is configured.
 pub fn query_log_sink_path() -> Option<String> {
-    state().lock().sink.as_ref().map(|(p, _)| p.clone())
+    state().lock().sink.as_ref().map(|s| s.path.clone())
 }
 
 /// Whether records are currently being persisted to a sink. Engines use
@@ -282,6 +302,23 @@ mod tests {
         assert!(lines[0].contains("\"sql\":\"SELECT a\""));
         assert!(lines[1].contains("\"sql\":\"SELECT b\""));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sink_write_failure_is_counted_not_fatal() {
+        // /dev/full accepts the open but fails every write with ENOSPC.
+        if !std::path::Path::new("/dev/full").exists() {
+            return;
+        }
+        reset_query_log();
+        set_query_log_sink(Some("/dev/full")).unwrap();
+        let before = metrics().querylog_sink_errors.get();
+        log_query(record(99, "SELECT sink_failure"));
+        assert!(metrics().querylog_sink_errors.get() > before);
+        // The query still landed in the in-memory history.
+        assert!(query_log_snapshot().iter().any(|r| r.id == 99));
+        set_query_log_sink(None).unwrap();
+        reset_query_log();
     }
 
     #[test]

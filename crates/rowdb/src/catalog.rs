@@ -34,6 +34,12 @@ impl HeapTable {
         self.column_names.iter().position(|n| *n == lname)
     }
 
+    /// Append rows. Atomic: arity is validated before anything mutates,
+    /// and the heap itself is only extended after every index accepted
+    /// the new entries — so a failure never leaves half-applied rows. An
+    /// index that fails mid-append may hold partial entries; it (and any
+    /// index fed before it) is dropped rather than left serving stale
+    /// row ids, with the error saying so.
     pub fn append_rows(&mut self, rows: Vec<Vec<Value>>) -> SqlResult<()> {
         let first = self.rows.len() as u64;
         for row in &rows {
@@ -46,13 +52,27 @@ impl HeapTable {
                 )));
             }
         }
-        for index in &mut self.indexes {
-            let col = index.column();
+        for k in 0..self.indexes.len() {
+            let col = self.indexes[k].column();
             let values: Vec<Value> = rows.iter().map(|r| r[col].clone()).collect();
-            index.append(&values, first)?;
+            if let Err(e) = self.indexes[k].append(&values, first) {
+                let dropped: Vec<String> =
+                    self.indexes.drain(..=k).map(|i| i.name().to_string()).collect();
+                return Err(SqlError::execution(format!(
+                    "{e}; index(es) {dropped:?} on table {} were dropped to preserve \
+                     consistency and must be re-created",
+                    self.name
+                )));
+            }
         }
         self.rows.extend(rows);
         Ok(())
+    }
+
+    /// Keep only the first `len` rows (the rollback path of an atomic
+    /// append; the caller rebuilds any indexes).
+    pub fn truncate_rows(&mut self, len: usize) {
+        self.rows.truncate(len);
     }
 }
 

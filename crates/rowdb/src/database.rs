@@ -1,16 +1,19 @@
 //! The row-store database instance (the PostgreSQL/MobilityDB analogue).
 
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 use mduck_obs::QueryProgress;
 use mduck_sync::{Mutex, RwLock};
+use mduck_wal::{DurabilityManager, IndexDef, Recovery, Snapshot, TableSnapshot, WalRecord};
 
 use mduck_sql::ast::{InsertSource, Statement};
 use mduck_sql::eval::{eval, OuterStack};
 use mduck_sql::{
-    parse_statement, Binder, Catalog, ExecGuard, ExecLimits, LogicalType, Registry, Schema,
-    SqlError, SqlResult, Value,
+    parse_statement, Binder, Catalog, ExecGuard, ExecLimits, LogicalType, PragmaValue, Registry,
+    Schema, SqlError, SqlResult, Value,
 };
 
 use crate::catalog::RowCatalog;
@@ -34,6 +37,12 @@ pub struct RowDatabase {
     /// Progress handle of the most recent `execute()` statement; retained
     /// after completion so late pollers read 1.0 rather than nothing.
     current_progress: Mutex<Option<Arc<QueryProgress>>>,
+    /// Durability manager when a WAL is attached ([`RowDatabase::open`] /
+    /// `PRAGMA wal='path'`); `None` keeps the in-memory default.
+    wal: RwLock<Option<Arc<DurabilityManager>>>,
+    /// Serializes catalog/data commits and checkpoints (see quackdb's
+    /// twin field for the full rationale).
+    commit_lock: Mutex<()>,
 }
 
 impl Default for RowDatabase {
@@ -52,6 +61,229 @@ impl RowDatabase {
             index_types: Arc::new(RwLock::new(index_types)),
             limits: RwLock::new(ExecLimits::default()),
             current_progress: Mutex::new(None),
+            wal: RwLock::new(None),
+            commit_lock: Mutex::new(()),
+        }
+    }
+
+    /// A durable instance: open (or create) the WAL at `path`, recover
+    /// committed state, and log every later DDL/DML statement. For
+    /// extension types, load the extension first and use
+    /// [`RowDatabase::attach_wal`].
+    pub fn open(path: impl AsRef<Path>) -> SqlResult<Self> {
+        let db = Self::new();
+        db.attach_wal(path)?;
+        Ok(db)
+    }
+
+    /// Attach a WAL to a live database (`PRAGMA wal='path'`), recovering
+    /// on-disk state first. A brand-new WAL on a database that already
+    /// holds tables checkpoints them immediately.
+    pub fn attach_wal(&self, path: impl AsRef<Path>) -> SqlResult<()> {
+        let _commit = self.commit_lock.lock();
+        if self.wal.read().is_some() {
+            return Err(SqlError::execution(
+                "a WAL is already attached; detach it first (PRAGMA wal='off')",
+            ));
+        }
+        let (manager, recovery) = {
+            let registry = self.registry.read();
+            DurabilityManager::open(path.as_ref(), &registry)?
+        };
+        self.apply_recovery(&recovery)?;
+        let manager = Arc::new(manager);
+        let fresh = recovery.snapshot.is_none() && recovery.records.is_empty();
+        if fresh && !self.catalog.table_names().is_empty() {
+            self.checkpoint_locked(&manager)?;
+        }
+        *self.wal.write() = Some(manager);
+        Ok(())
+    }
+
+    /// Detach the WAL (`PRAGMA wal='off'`); on-disk state stays put.
+    pub fn detach_wal(&self) {
+        let _commit = self.commit_lock.lock();
+        *self.wal.write() = None;
+    }
+
+    /// The attached durability manager, if any.
+    pub fn wal(&self) -> Option<Arc<DurabilityManager>> {
+        self.wal.read().clone()
+    }
+
+    /// Bulk-insert pre-typed rows through the full commit path: atomic
+    /// append, WAL record, auto-checkpoint — identical durability to an
+    /// `INSERT` statement, without parse/bind overhead (see quackdb's
+    /// twin method; used by the berlinmod loader).
+    pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> SqlResult<usize> {
+        let n = rows.len();
+        let needed = {
+            let _commit = self.commit_lock.lock();
+            let t = self.catalog.get(table)?;
+            let mut t = t.write();
+            let pre_rows = t.rows.len();
+            let record = self.wal.read().is_some().then(|| WalRecord::Insert {
+                table: t.name.clone(),
+                rows: rows.clone(),
+            });
+            t.append_rows(rows)?;
+            match record {
+                None => false,
+                Some(record) => match self.wal_append(&record) {
+                    Ok(needed) => needed,
+                    Err(e) => {
+                        t.truncate_rows(pre_rows);
+                        let all: Vec<usize> = (0..t.column_names.len()).collect();
+                        self.rebuild_indexes(&mut t, &all)?;
+                        return Err(e);
+                    }
+                },
+            }
+        };
+        self.maybe_auto_checkpoint(needed);
+        Ok(n)
+    }
+
+    /// Snapshot the whole database and truncate the WAL (the
+    /// `CHECKPOINT` statement). `false` = no WAL attached, nothing done.
+    pub fn checkpoint(&self) -> SqlResult<bool> {
+        let Some(manager) = self.wal() else { return Ok(false) };
+        let _commit = self.commit_lock.lock();
+        self.checkpoint_locked(&manager)?;
+        Ok(true)
+    }
+
+    fn checkpoint_locked(&self, manager: &DurabilityManager) -> SqlResult<()> {
+        let snapshot = self.snapshot_state();
+        manager.checkpoint(&snapshot)
+    }
+
+    fn snapshot_state(&self) -> Snapshot {
+        let mut tables = Vec::new();
+        for name in self.catalog.table_names() {
+            let Ok(t) = self.catalog.get(&name) else { continue };
+            let t = t.read();
+            let columns: Vec<(String, LogicalType)> = t
+                .column_names
+                .iter()
+                .cloned()
+                .zip(t.column_types.iter().cloned())
+                .collect();
+            let indexes: Vec<IndexDef> = t
+                .indexes
+                .iter()
+                .map(|i| IndexDef {
+                    name: i.name().to_string(),
+                    method: i.method().to_string(),
+                    column: t.column_names[i.column()].clone(),
+                })
+                .collect();
+            tables.push(TableSnapshot {
+                name: t.name.clone(),
+                columns,
+                indexes,
+                rows: t.rows.clone(),
+            });
+        }
+        Snapshot { tables }
+    }
+
+    fn apply_recovery(&self, recovery: &Recovery) -> SqlResult<()> {
+        if let Some(snapshot) = &recovery.snapshot {
+            for ts in &snapshot.tables {
+                self.catalog.create_table(&ts.name, ts.columns.clone(), false)?;
+                let t = self.catalog.get(&ts.name)?;
+                let res = t.write().append_rows(ts.rows.clone());
+                res?;
+            }
+            for ts in &snapshot.tables {
+                for idx in &ts.indexes {
+                    self.create_index(&idx.name, &ts.name, &idx.method, &idx.column)?;
+                }
+            }
+        }
+        for record in &recovery.records {
+            self.apply_record(record)?;
+        }
+        Ok(())
+    }
+
+    /// Replay one WAL record through the same storage paths live
+    /// statements use.
+    fn apply_record(&self, record: &WalRecord) -> SqlResult<()> {
+        match record {
+            WalRecord::CreateTable { name, columns } => {
+                self.catalog.create_table(name, columns.clone(), false)
+            }
+            WalRecord::DropTable { name } => self.catalog.drop_table(name, false),
+            WalRecord::CreateIndex { name, table, method, column } => {
+                self.create_index(name, table, method, column)
+            }
+            WalRecord::Insert { table, rows } => {
+                let t = self.catalog.get(table)?;
+                let res = t.write().append_rows(rows.clone());
+                res
+            }
+            WalRecord::Update { table, cells } => {
+                let t = self.catalog.get(table)?;
+                let mut t = t.write();
+                for (row, col, v) in cells {
+                    let (r, c) = (*row as usize, *col as usize);
+                    if r >= t.rows.len() || c >= t.column_names.len() {
+                        return Err(SqlError::corruption(format!(
+                            "wal update cell ({r}, {c}) outside table {} ({} rows)",
+                            t.name,
+                            t.rows.len()
+                        )));
+                    }
+                    t.rows[r][c] = v.clone();
+                }
+                let cols: Vec<usize> = {
+                    let mut s: Vec<usize> =
+                        cells.iter().map(|(_, c, _)| *c as usize).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                };
+                self.rebuild_indexes(&mut t, &cols)
+            }
+            WalRecord::Delete { table, rows } => {
+                let t = self.catalog.get(table)?;
+                let mut t = t.write();
+                let dead: std::collections::HashSet<u64> = rows.iter().copied().collect();
+                let mut kept = Vec::with_capacity(t.rows.len());
+                for (i, row) in std::mem::take(&mut t.rows).into_iter().enumerate() {
+                    if !dead.contains(&(i as u64)) {
+                        kept.push(row);
+                    }
+                }
+                t.rows = kept;
+                let all: Vec<usize> = (0..t.column_names.len()).collect();
+                self.rebuild_indexes(&mut t, &all)
+            }
+        }
+    }
+
+    /// Append one record to the attached WAL, if any; returns whether
+    /// the auto-checkpoint threshold was crossed.
+    fn wal_append(&self, record: &WalRecord) -> SqlResult<bool> {
+        match &*self.wal.read() {
+            Some(manager) => manager.append(record),
+            None => Ok(false),
+        }
+    }
+
+    /// Size-triggered checkpoint after a committed statement. Failures
+    /// must not fail that statement (already applied and logged); the
+    /// log keeps growing and the next trigger retries.
+    fn maybe_auto_checkpoint(&self, needed: bool) {
+        if !needed {
+            return;
+        }
+        let Some(manager) = self.wal() else { return };
+        let _commit = self.commit_lock.lock();
+        if self.checkpoint_locked(&manager).is_ok() {
+            mduck_obs::metrics().wal_auto_checkpoints.inc(1);
         }
     }
 
@@ -267,48 +499,173 @@ impl RowDatabase {
                     );
                     return Ok(RowQueryResult { schema, rows });
                 }
+                if name == "wal" {
+                    if let Some(v) = value {
+                        let path = match v {
+                            PragmaValue::Str(s) => s.clone(),
+                            PragmaValue::Int(n) => {
+                                return Err(SqlError::Bind(format!(
+                                    "PRAGMA wal expects a path string, got {n}"
+                                )))
+                            }
+                        };
+                        let trimmed = path.trim();
+                        if trimmed.is_empty()
+                            || trimmed.eq_ignore_ascii_case("off")
+                            || trimmed.eq_ignore_ascii_case("none")
+                        {
+                            self.detach_wal();
+                        } else {
+                            self.attach_wal(trimmed)?;
+                        }
+                    }
+                    let shown = self.wal().map(|m| m.wal_path().display().to_string());
+                    let (schema, rows) = mduck_sql::introspect::wal_result(shown);
+                    return Ok(RowQueryResult { schema, rows });
+                }
+                if name == "wal_autocheckpoint" {
+                    if let Some(v) = value {
+                        let n = v.as_int().ok_or_else(|| {
+                            SqlError::Bind(format!(
+                                "PRAGMA wal_autocheckpoint expects a byte count, got {v:?}"
+                            ))
+                        })?;
+                        if n < 0 {
+                            return Err(SqlError::OutOfRange(format!(
+                                "PRAGMA wal_autocheckpoint expects a non-negative byte \
+                                 count, got {n}"
+                            )));
+                        }
+                        match self.wal() {
+                            Some(m) => m.set_auto_checkpoint(n as u64),
+                            None => {
+                                return Err(SqlError::execution(
+                                    "no WAL attached; PRAGMA wal='path' first",
+                                ))
+                            }
+                        }
+                    }
+                    let current = self.wal().map(|m| m.auto_checkpoint()).unwrap_or(0);
+                    let (schema, rows) =
+                        mduck_sql::introspect::wal_autocheckpoint_result(current);
+                    return Ok(RowQueryResult { schema, rows });
+                }
                 match mduck_sql::introspect::pragma(name, value.as_ref())? {
                     Some((schema, rows)) => Ok(RowQueryResult { schema, rows }),
                     None => Err(SqlError::Catalog(format!("unknown pragma {name:?}"))),
                 }
             }
             Statement::CreateTable { name, columns, if_not_exists } => {
-                let registry = self.registry.read();
-                let mut cols = Vec::with_capacity(columns.len());
-                for (cname, tname) in columns {
-                    cols.push((cname.clone(), registry.resolve_type(tname)?));
-                }
-                self.catalog.create_table(name, cols, *if_not_exists)?;
+                let cols = {
+                    let registry = self.registry.read();
+                    let mut cols = Vec::with_capacity(columns.len());
+                    for (cname, tname) in columns {
+                        cols.push((cname.clone(), registry.resolve_type(tname)?));
+                    }
+                    cols
+                };
+                let needed = {
+                    let _commit = self.commit_lock.lock();
+                    // Pre-check so an IF NOT EXISTS no-op logs nothing and a
+                    // name clash fails before the WAL sees it.
+                    if self.catalog.table_schema(name).is_some() {
+                        if *if_not_exists {
+                            return Ok(RowQueryResult {
+                                schema: Schema::default(),
+                                rows: Vec::new(),
+                            });
+                        }
+                        return Err(SqlError::Catalog(format!("table {name:?} already exists")));
+                    }
+                    let needed = self.wal_append(&WalRecord::CreateTable {
+                        name: name.to_ascii_lowercase(),
+                        columns: cols.clone(),
+                    })?;
+                    self.catalog.create_table(name, cols, *if_not_exists)?;
+                    needed
+                };
+                self.maybe_auto_checkpoint(needed);
                 Ok(RowQueryResult { schema: Schema::default(), rows: Vec::new() })
             }
             Statement::DropTable { name, if_exists } => {
-                self.catalog.drop_table(name, *if_exists)?;
+                let needed = {
+                    let _commit = self.commit_lock.lock();
+                    if self.catalog.table_schema(name).is_none() {
+                        if *if_exists {
+                            return Ok(RowQueryResult {
+                                schema: Schema::default(),
+                                rows: Vec::new(),
+                            });
+                        }
+                        return Err(SqlError::Catalog(format!("table {name:?} does not exist")));
+                    }
+                    let needed = self
+                        .wal_append(&WalRecord::DropTable { name: name.to_ascii_lowercase() })?;
+                    self.catalog.drop_table(name, true)?;
+                    needed
+                };
+                self.maybe_auto_checkpoint(needed);
                 Ok(RowQueryResult { schema: Schema::default(), rows: Vec::new() })
             }
             Statement::CreateIndex { name, table, method, column } => {
-                self.create_index(name, table, method, column)?;
+                let needed = {
+                    let _commit = self.commit_lock.lock();
+                    self.create_index(name, table, method, column)?;
+                    let resolved = if method.is_empty() {
+                        "BTREE".to_string()
+                    } else {
+                        method.to_uppercase()
+                    };
+                    let record = WalRecord::CreateIndex {
+                        name: name.clone(),
+                        table: table.to_ascii_lowercase(),
+                        method: resolved,
+                        column: column.clone(),
+                    };
+                    match self.wal_append(&record) {
+                        Ok(needed) => needed,
+                        Err(e) => {
+                            // Undo the in-memory index: dropping an access
+                            // path is always safe, and the statement must
+                            // not report failure while leaving it behind.
+                            if let Ok(t) = self.catalog.get(table) {
+                                t.write().indexes.retain(|i| i.name() != name);
+                            }
+                            return Err(e);
+                        }
+                    }
+                };
+                self.maybe_auto_checkpoint(needed);
                 Ok(RowQueryResult { schema: Schema::default(), rows: Vec::new() })
             }
             Statement::Insert { table, columns, source } => {
-                let n = self.insert(table, columns.as_deref(), source)?;
+                let (n, needed) = self.insert(table, columns.as_deref(), source)?;
+                self.maybe_auto_checkpoint(needed);
                 Ok(RowQueryResult {
                     schema: Schema::default(),
                     rows: vec![vec![Value::Int(n as i64)]],
                 })
             }
             Statement::Update { table, sets, where_clause } => {
-                let n = self.update(table, sets, where_clause.as_ref())?;
+                let (n, needed) = self.update(table, sets, where_clause.as_ref())?;
+                self.maybe_auto_checkpoint(needed);
                 Ok(RowQueryResult {
                     schema: Schema::default(),
                     rows: vec![vec![Value::Int(n as i64)]],
                 })
             }
             Statement::Delete { table, where_clause } => {
-                let n = self.delete(table, where_clause.as_ref())?;
+                let (n, needed) = self.delete(table, where_clause.as_ref())?;
+                self.maybe_auto_checkpoint(needed);
                 Ok(RowQueryResult {
                     schema: Schema::default(),
                     rows: vec![vec![Value::Int(n as i64)]],
                 })
+            }
+            Statement::Checkpoint => {
+                let ran = self.checkpoint()?;
+                let (schema, rows) = mduck_sql::introspect::checkpoint_result(ran);
+                Ok(RowQueryResult { schema, rows })
             }
         }
     }
@@ -341,12 +698,16 @@ impl RowDatabase {
         Ok(())
     }
 
+    /// Returns `(rows inserted, auto-checkpoint needed)`. Commit
+    /// discipline: the atomic heap append runs first, then the WAL
+    /// record; a WAL failure rolls the heap back so a statement that
+    /// reported an error is never durable or visible.
     fn insert(
         &self,
         table: &str,
         columns: Option<&[String]>,
         source: &InsertSource,
-    ) -> SqlResult<usize> {
+    ) -> SqlResult<(usize, bool)> {
         let registry = self.registry.read();
         let incoming: Vec<Vec<Value>> = match source {
             InsertSource::Values(rows) => {
@@ -375,6 +736,7 @@ impl RowDatabase {
                 execute_select(&ctx, &plan, &OuterStack::EMPTY)?
             }
         };
+        let _commit = self.commit_lock.lock();
         let t = self.catalog.get(table)?;
         let mut t = t.write();
         let rows = match columns {
@@ -417,8 +779,28 @@ impl RowDatabase {
             coerced.push(cr);
         }
         let n = coerced.len();
+        let pre_rows = t.rows.len();
+        // Only pay for the WAL copy when a WAL is attached (the attach
+        // itself takes the commit lock we hold, so this cannot race).
+        let record = self.wal.read().is_some().then(|| WalRecord::Insert {
+            table: t.name.clone(),
+            rows: coerced.clone(),
+        });
         t.append_rows(coerced)?;
-        Ok(n)
+        let needed = match record {
+            None => false,
+            Some(record) => match self.wal_append(&record) {
+                Ok(needed) => needed,
+                Err(e) => {
+                    // Not logged → must not stay visible.
+                    t.truncate_rows(pre_rows);
+                    let all: Vec<usize> = (0..t.column_names.len()).collect();
+                    self.rebuild_indexes(&mut t, &all)?;
+                    return Err(e);
+                }
+            },
+        };
+        Ok((n, needed))
     }
 
     fn bind_table_schema(&self, table: &str) -> SqlResult<Schema> {
@@ -437,12 +819,18 @@ impl RowDatabase {
         ))
     }
 
+    /// Returns `(rows updated, auto-checkpoint needed)`. Commit
+    /// discipline: every new cell and every index rebuild is staged
+    /// before the WAL record is appended; after the append only
+    /// infallible assignments remain, so the table is untouched on any
+    /// error (including a mid-scan eval failure) and never diverges from
+    /// the log.
     fn update(
         &self,
         table: &str,
         sets: &[(String, mduck_sql::Expr)],
         where_clause: Option<&mduck_sql::Expr>,
-    ) -> SqlResult<usize> {
+    ) -> SqlResult<(usize, bool)> {
         let registry = self.registry.read();
         let schema = self.bind_table_schema(table)?;
         let mut binder = Binder::new(&self.catalog, &registry);
@@ -460,28 +848,64 @@ impl RowDatabase {
             Some(w) => Some(binder.bind_expr(w, &schema)?),
             None => None,
         };
+        let _commit = self.commit_lock.lock();
         let t = self.catalog.get(table)?;
         let mut t = t.write();
         let no_sub = mduck_sql::eval::NoSubqueries;
-        let mut updated = 0;
+        // Stage 1: evaluate everything against the untouched rows.
+        let mut cells: Vec<(u64, u64, Value)> = Vec::new();
+        let mut updated = 0usize;
         for i in 0..t.rows.len() {
-            let row = t.rows[i].clone();
+            let row = &t.rows[i];
             if let Some(w) = &bound_where {
-                if !matches!(eval(w, &row, &OuterStack::EMPTY, &no_sub)?, Value::Bool(true)) {
+                if !matches!(eval(w, row, &OuterStack::EMPTY, &no_sub)?, Value::Bool(true)) {
                     continue;
                 }
             }
             for (col, e) in &bound_sets {
-                t.rows[i][*col] = eval(e, &row, &OuterStack::EMPTY, &no_sub)?;
+                cells.push((i as u64, *col as u64, eval(e, row, &OuterStack::EMPTY, &no_sub)?));
             }
             updated += 1;
         }
-        // Rebuild indexes over updated columns.
-        self.rebuild_indexes(&mut t, &bound_sets.iter().map(|(c, _)| *c).collect::<Vec<_>>())?;
-        Ok(updated)
+        if updated == 0 {
+            return Ok((0, false));
+        }
+        // Stage 2: rebuild affected indexes from the staged values.
+        let mut set_cols: Vec<usize> = bound_sets.iter().map(|(c, _)| *c).collect();
+        set_cols.sort_unstable();
+        set_cols.dedup();
+        let mut overlay: BTreeMap<(usize, usize), &Value> = BTreeMap::new();
+        for (r, c, v) in &cells {
+            overlay.insert((*r as usize, *c as usize), v);
+        }
+        let staged_indexes = self.stage_index_rebuilds(&t, &set_cols, |col| {
+            t.rows
+                .iter()
+                .enumerate()
+                .map(|(r, row)| overlay.get(&(r, col)).map(|v| (*v).clone()).unwrap_or_else(|| row[col].clone()))
+                .collect()
+        })?;
+        // Stage 3: log, then apply (infallible from here on).
+        let needed =
+            self.wal_append(&WalRecord::Update { table: t.name.clone(), cells: cells.clone() })?;
+        for (r, c, v) in cells {
+            t.rows[r as usize][c as usize] = v;
+        }
+        for (slot, index) in staged_indexes {
+            t.indexes[slot] = index;
+        }
+        Ok((updated, needed))
     }
 
-    fn delete(&self, table: &str, where_clause: Option<&mduck_sql::Expr>) -> SqlResult<usize> {
+    /// Returns `(rows deleted, auto-checkpoint needed)`. Same staged
+    /// discipline as `update`: victims are chosen and index rebuilds
+    /// staged before the WAL append; the heap is only compacted after
+    /// the record is durable.
+    fn delete(
+        &self,
+        table: &str,
+        where_clause: Option<&mduck_sql::Expr>,
+    ) -> SqlResult<(usize, bool)> {
         let registry = self.registry.read();
         let schema = self.bind_table_schema(table)?;
         let mut binder = Binder::new(&self.catalog, &registry);
@@ -489,26 +913,49 @@ impl RowDatabase {
             Some(w) => Some(binder.bind_expr(w, &schema)?),
             None => None,
         };
+        let _commit = self.commit_lock.lock();
         let t = self.catalog.get(table)?;
         let mut t = t.write();
         let no_sub = mduck_sql::eval::NoSubqueries;
-        let before = t.rows.len();
-        let mut kept = Vec::with_capacity(before);
-        for row in std::mem::take(&mut t.rows) {
+        let mut deleted_rows: Vec<u64> = Vec::new();
+        for (i, row) in t.rows.iter().enumerate() {
             let delete = match &bound_where {
                 Some(w) => {
-                    matches!(eval(w, &row, &OuterStack::EMPTY, &no_sub)?, Value::Bool(true))
+                    matches!(eval(w, row, &OuterStack::EMPTY, &no_sub)?, Value::Bool(true))
                 }
                 None => true,
             };
-            if !delete {
+            if delete {
+                deleted_rows.push(i as u64);
+            }
+        }
+        if deleted_rows.is_empty() {
+            return Ok((0, false));
+        }
+        let dead: std::collections::HashSet<u64> = deleted_rows.iter().copied().collect();
+        let all: Vec<usize> = (0..t.column_names.len()).collect();
+        let staged_indexes = self.stage_index_rebuilds(&t, &all, |col| {
+            t.rows
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !dead.contains(&(*i as u64)))
+                .map(|(_, row)| row[col].clone())
+                .collect()
+        })?;
+        let n = deleted_rows.len();
+        let needed =
+            self.wal_append(&WalRecord::Delete { table: t.name.clone(), rows: deleted_rows })?;
+        let mut kept = Vec::with_capacity(t.rows.len() - n);
+        for (i, row) in std::mem::take(&mut t.rows).into_iter().enumerate() {
+            if !dead.contains(&(i as u64)) {
                 kept.push(row);
             }
         }
         t.rows = kept;
-        let all: Vec<usize> = (0..t.column_names.len()).collect();
-        self.rebuild_indexes(&mut t, &all)?;
-        Ok(before - t.rows.len())
+        for (slot, index) in staged_indexes {
+            t.indexes[slot] = index;
+        }
+        Ok((n, needed))
     }
 
     /// Execute a SELECT and return the result together with the analyzed
@@ -519,30 +966,47 @@ impl RowDatabase {
         Ok((result, start.elapsed().as_secs_f64() * 1e3))
     }
 
+    /// Build replacement indexes for every index over one of `cols`,
+    /// without touching the table — `values_of(col)` supplies the
+    /// post-statement values of that column. The caller assigns the
+    /// returned `(slot, index)` pairs once the statement is committed.
+    fn stage_index_rebuilds(
+        &self,
+        t: &crate::catalog::HeapTable,
+        cols: &[usize],
+        values_of: impl Fn(usize) -> Vec<Value>,
+    ) -> SqlResult<Vec<(usize, Box<dyn crate::index::RowIndex>)>> {
+        let index_types = self.index_types.read();
+        let mut staged = Vec::new();
+        for (slot, idx) in t.indexes.iter().enumerate() {
+            let col = idx.column();
+            if !cols.contains(&col) {
+                continue;
+            }
+            let method = idx.method().to_string();
+            let it = index_types
+                .get(&method)
+                .ok_or_else(|| SqlError::Catalog(format!("index method {method} vanished")))?;
+            let ty = t.column_types[col].clone();
+            let values = values_of(col);
+            staged.push((slot, it.create(idx.name(), col, &ty, &values)?));
+        }
+        Ok(staged)
+    }
+
     fn rebuild_indexes(
         &self,
         t: &mut crate::catalog::HeapTable,
         cols: &[usize],
     ) -> SqlResult<()> {
-        let index_types = self.index_types.read();
-        let affected: Vec<usize> = t
-            .indexes
-            .iter()
-            .enumerate()
-            .filter(|(_, idx)| cols.contains(&idx.column()))
-            .map(|(i, _)| i)
-            .collect();
-        for i in affected {
-            let (name, method, col) = {
-                let idx = &t.indexes[i];
-                (idx.name().to_string(), idx.method().to_string(), idx.column())
-            };
-            let ty = t.column_types[col].clone();
-            let it = index_types
-                .get(&method)
-                .ok_or_else(|| SqlError::Catalog(format!("index method {method} vanished")))?;
-            let values: Vec<Value> = t.rows.iter().map(|r| r[col].clone()).collect();
-            t.indexes[i] = it.create(&name, col, &ty, &values)?;
+        let staged = {
+            let tr: &crate::catalog::HeapTable = t;
+            self.stage_index_rebuilds(tr, cols, |col| {
+                tr.rows.iter().map(|r| r[col].clone()).collect()
+            })?
+        };
+        for (slot, index) in staged {
+            t.indexes[slot] = index;
         }
         Ok(())
     }

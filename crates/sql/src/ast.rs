@@ -50,6 +50,10 @@ pub enum Statement {
         name: String,
         value: Option<PragmaValue>,
     },
+    /// `CHECKPOINT`: snapshot the catalog + all tables into the
+    /// checkpoint file and truncate the WAL. A no-op when the database
+    /// has no WAL attached.
+    Checkpoint,
 }
 
 /// The value of a `PRAGMA name = <value>` assignment. Settings that take

@@ -30,6 +30,12 @@ pub enum SqlError {
     /// A per-query resource budget was exceeded (timeout, row budget,
     /// recursion/parser depth, cancellation).
     ResourceExhausted(String),
+    /// On-disk state failed an integrity check (WAL CRC mismatch,
+    /// bad magic, truncated checkpoint). Recovery refuses to guess.
+    Corruption(String),
+    /// The storage layer hit an I/O failure (disk full, permission,
+    /// injected fault). The in-memory state is unchanged.
+    Io(String),
     /// A defect reached the panic backstop; the query failed but the
     /// process survives. Always a bug worth reporting.
     Internal(String),
@@ -47,6 +53,8 @@ impl fmt::Display for SqlError {
             SqlError::Overflow(m) => write!(f, "overflow: {m}"),
             SqlError::OutOfRange(m) => write!(f, "out of range: {m}"),
             SqlError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            SqlError::Corruption(m) => write!(f, "corruption: {m}"),
+            SqlError::Io(m) => write!(f, "io error: {m}"),
             SqlError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -84,6 +92,14 @@ impl SqlError {
 
     pub fn internal(msg: impl Into<String>) -> Self {
         SqlError::Internal(msg.into())
+    }
+
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        SqlError::Corruption(msg.into())
+    }
+
+    pub fn io(msg: impl Into<String>) -> Self {
+        SqlError::Io(msg.into())
     }
 
     /// True for errors that indicate an engine defect rather than bad

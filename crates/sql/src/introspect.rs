@@ -193,6 +193,43 @@ pub fn memory_limit_result(limit: Option<u64>) -> (Schema, Vec<Vec<Value>>) {
     (schema, vec![vec![Value::text(&rendered)]])
 }
 
+/// Result of `PRAGMA wal [= 'path']`: one row with the attached WAL
+/// path, or `off` for the in-memory default. Shared so both engines
+/// answer with the identical schema.
+pub fn wal_result(path: Option<String>) -> (Schema, Vec<Vec<Value>>) {
+    let schema = Schema::new(vec![Field {
+        name: "wal".into(),
+        table: None,
+        ty: LogicalType::Text,
+    }]);
+    let shown = path.unwrap_or_else(|| "off".into());
+    (schema, vec![vec![Value::text(&shown)]])
+}
+
+/// Result of `PRAGMA wal_autocheckpoint [= bytes]`: the WAL size (in
+/// bytes) past which the engine checkpoints automatically; 0 means
+/// disabled (or no WAL attached).
+pub fn wal_autocheckpoint_result(bytes: u64) -> (Schema, Vec<Vec<Value>>) {
+    let schema = Schema::new(vec![Field {
+        name: "wal_autocheckpoint".into(),
+        table: None,
+        ty: LogicalType::Int,
+    }]);
+    (schema, vec![vec![Value::Int(bytes as i64)]])
+}
+
+/// Result of the `CHECKPOINT` statement: whether a checkpoint actually
+/// ran (`ok`) or the database had no WAL attached (`no wal`).
+pub fn checkpoint_result(ran: bool) -> (Schema, Vec<Vec<Value>>) {
+    let schema = Schema::new(vec![Field {
+        name: "checkpoint".into(),
+        table: None,
+        ty: LogicalType::Text,
+    }]);
+    let status = if ran { "ok" } else { "no wal" };
+    (schema, vec![vec![Value::text(status)]])
+}
+
 /// Parse the value of `PRAGMA memory_limit = ...`: a byte count, a human
 /// size string (`'8MB'`), or `'unlimited'` / `'none'` / `0` to clear.
 pub fn parse_memory_limit(value: &PragmaValue) -> SqlResult<Option<u64>> {

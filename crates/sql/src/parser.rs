@@ -210,6 +210,10 @@ impl Parser {
             let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
             return Ok(Statement::Delete { table, where_clause });
         }
+        if self.peek().is_kw("checkpoint") {
+            self.pos += 1;
+            return Ok(Statement::Checkpoint);
+        }
         Err(self.error("expected a statement"))
     }
 

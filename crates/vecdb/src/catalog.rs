@@ -41,10 +41,10 @@ impl Table {
         self.column_names.iter().position(|n| *n == lname)
     }
 
-    /// Append rows, feeding attached indexes through the index-first
-    /// `Append` path (§4.2.1).
-    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> SqlResult<()> {
-        let first_row = self.row_count() as u64;
+    /// Check, without mutating anything, that `rows` can be appended:
+    /// arity and per-column type acceptance. After this returns `Ok`,
+    /// the column phase of [`Table::append_rows`] cannot fail.
+    pub fn validate_append(&self, rows: &[Vec<Value>]) -> SqlResult<()> {
         for row in rows {
             if row.len() != self.columns.len() {
                 return Err(SqlError::execution(format!(
@@ -54,14 +54,51 @@ impl Table {
                     self.columns.len()
                 )));
             }
-            for (c, v) in self.columns.iter_mut().zip(row) {
-                c.push(v)?;
+            for (c, v) in self.columns.iter().zip(row) {
+                c.accepts(v)?;
             }
         }
-        for index in &mut self.indexes {
-            let col = index.column();
+        Ok(())
+    }
+
+    /// Append rows, feeding attached indexes through the index-first
+    /// `Append` path (§4.2.1). Atomic: on any failure the columns are
+    /// rolled back to their pre-call length, so a half-applied INSERT is
+    /// never visible (statement atomicity depends on this).
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> SqlResult<()> {
+        self.validate_append(rows)?;
+        let first_row = self.row_count();
+        for row in rows {
+            for (c, v) in self.columns.iter_mut().zip(row) {
+                if let Err(e) = c.push(v) {
+                    // Unreachable after validation, but a defect here
+                    // must degrade to an error, not to ragged columns.
+                    for c in &mut self.columns {
+                        c.truncate(first_row);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        for k in 0..self.indexes.len() {
+            let col = self.indexes[k].column();
             let values: Vec<Value> = rows.iter().map(|r| r[col].clone()).collect();
-            index.append(&values, first_row)?;
+            if let Err(e) = self.indexes[k].append(&values, first_row as u64) {
+                for c in &mut self.columns {
+                    c.truncate(first_row);
+                }
+                // Indexes fed so far hold entries for the rows just
+                // rolled back; an index is only an access path, so
+                // dropping them is safe where serving stale row ids
+                // is not.
+                let dropped: Vec<String> =
+                    self.indexes.drain(..=k).map(|i| i.name().to_string()).collect();
+                return Err(SqlError::execution(format!(
+                    "{e}; index(es) {dropped:?} on table {} were dropped to preserve \
+                     consistency and must be re-created",
+                    self.name
+                )));
+            }
         }
         Ok(())
     }

@@ -90,6 +90,56 @@ impl ColumnData {
         Ok(())
     }
 
+    /// Non-mutating twin of [`ColumnData::push`]: would this value be
+    /// accepted, including the implicit coercions? Callers validate a
+    /// whole batch with this before mutating anything, which is what
+    /// makes multi-column appends atomic — after `accepts` passes, the
+    /// pushes cannot fail halfway and leave ragged columns.
+    pub fn accepts(&self, v: &Value) -> SqlResult<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        let ok = matches!(
+            (&self.payload, v),
+            (Payload::Bool(_), Value::Bool(_))
+                | (Payload::Int(_), Value::Int(_) | Value::Float(_))
+                | (Payload::Float(_), Value::Float(_) | Value::Int(_))
+                | (Payload::Text(_), Value::Text(_))
+                | (Payload::Blob(_), Value::Blob(_))
+                | (Payload::Timestamp(_), Value::Timestamp(_) | Value::Date(_))
+                | (Payload::Date(_), Value::Date(_))
+                | (Payload::Interval(_), Value::Interval { .. })
+                | (Payload::Ext(_), Value::Ext(_))
+                | (Payload::List(_), Value::List(_))
+        );
+        if ok {
+            Ok(())
+        } else {
+            Err(SqlError::execution(format!(
+                "cannot store {v:?} in a {} column",
+                self.ty.name()
+            )))
+        }
+    }
+
+    /// Keep only the first `len` rows (the rollback path of an atomic
+    /// append).
+    pub fn truncate(&mut self, len: usize) {
+        self.validity.truncate(len);
+        match &mut self.payload {
+            Payload::Bool(p) => p.truncate(len),
+            Payload::Int(p) => p.truncate(len),
+            Payload::Float(p) => p.truncate(len),
+            Payload::Text(p) => p.truncate(len),
+            Payload::Blob(p) => p.truncate(len),
+            Payload::Timestamp(p) => p.truncate(len),
+            Payload::Date(p) => p.truncate(len),
+            Payload::Interval(p) => p.truncate(len),
+            Payload::Ext(p) => p.truncate(len),
+            Payload::List(p) => p.truncate(len),
+        }
+    }
+
     pub fn push_null(&mut self) {
         match &mut self.payload {
             Payload::Bool(p) => p.push(false),
@@ -310,6 +360,21 @@ mod tests {
         assert_eq!(c.get(1), Value::Null);
         assert_eq!(c.get(2), Value::Int(7));
         assert!(c.push(&Value::text("x")).is_err());
+    }
+
+    #[test]
+    fn accepts_mirrors_push_and_truncate_rolls_back() {
+        let mut c = ColumnData::new(&LogicalType::Int);
+        assert!(c.accepts(&Value::Int(1)).is_ok());
+        assert!(c.accepts(&Value::Float(2.0)).is_ok()); // implicit coercion
+        assert!(c.accepts(&Value::Null).is_ok());
+        assert!(c.accepts(&Value::text("x")).is_err());
+        c.push(&Value::Int(1)).unwrap();
+        c.push(&Value::Int(2)).unwrap();
+        c.push_null();
+        c.truncate(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(0), Value::Int(1));
     }
 
     #[test]

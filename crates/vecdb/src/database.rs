@@ -1,10 +1,13 @@
 //! The embeddable database instance: the `duckdb.Connection` analogue.
 
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
 use mduck_obs::QueryProgress;
 use mduck_sync::{Mutex, RwLock};
+use mduck_wal::{DurabilityManager, IndexDef, Recovery, Snapshot, TableSnapshot, WalRecord};
 
 use mduck_sql::ast::{InsertSource, SelectStmt, Statement};
 use mduck_sql::eval::{eval, OuterStack};
@@ -14,6 +17,7 @@ use mduck_sql::{
 };
 
 use crate::catalog::{DbCatalog, Table};
+use crate::column::ColumnData;
 use crate::exec::{execute_select, execute_select_planned, plan_joins, plan_key, EngineCtx};
 use crate::explain::{
     op_breakdown, render_plan, render_plan_analyzed, stage_breakdown, AnalyzeData, OpBreakdown,
@@ -108,6 +112,13 @@ pub struct Database {
     /// statement finishes (reporting `1.0`) until the next one replaces
     /// it.
     current_progress: Mutex<Option<Arc<QueryProgress>>>,
+    /// Durability manager when a WAL is attached ([`Database::open`] /
+    /// `PRAGMA wal='path'`); `None` keeps the in-memory default.
+    wal: RwLock<Option<Arc<DurabilityManager>>>,
+    /// Serializes catalog/data commits and checkpoints, so a checkpoint
+    /// image is always consistent with the WAL position it claims to
+    /// cover and the log order always matches the apply order.
+    commit_lock: Mutex<()>,
 }
 
 impl Default for Database {
@@ -126,7 +137,21 @@ impl Database {
             limits: RwLock::new(ExecLimits::default()),
             threads: std::sync::atomic::AtomicUsize::new(0),
             current_progress: Mutex::new(None),
+            wal: RwLock::new(None),
+            commit_lock: Mutex::new(()),
         }
+    }
+
+    /// A durable instance: open (or create) the WAL at `path`, recover
+    /// whatever a previous process committed, and log every later DDL
+    /// and DML statement. Only the built-in SQL surface is recovered —
+    /// databases using extension types must [`Database::new`], load the
+    /// extension, then attach with [`Database::attach_wal`] so recovery
+    /// can decode the extension values.
+    pub fn open(path: impl AsRef<Path>) -> SqlResult<Self> {
+        let db = Self::new();
+        db.attach_wal(path)?;
+        Ok(db)
     }
 
     /// Completion estimate of the most recent [`Database::execute`] /
@@ -189,6 +214,210 @@ impl Database {
     /// Mutate the index-type registry (extension load hook).
     pub fn index_types_mut(&self) -> mduck_sync::RwLockWriteGuard<'_, IndexTypeRegistry> {
         self.index_types.write()
+    }
+
+    /// Attach a WAL to a live database (`PRAGMA wal='path'`): recover
+    /// the on-disk state into the catalog, then log every later DDL/DML
+    /// statement. When the WAL is brand new and the database already
+    /// holds tables, an immediate checkpoint captures them — otherwise
+    /// the pre-attach state would never be covered by recovery.
+    pub fn attach_wal(&self, path: impl AsRef<Path>) -> SqlResult<()> {
+        let _commit = self.commit_lock.lock();
+        if self.wal.read().is_some() {
+            return Err(SqlError::execution(
+                "a WAL is already attached; detach it first (PRAGMA wal='off')",
+            ));
+        }
+        let (manager, recovery) = {
+            let registry = self.registry.read();
+            DurabilityManager::open(path.as_ref(), &registry)?
+        };
+        self.apply_recovery(&recovery)?;
+        let manager = Arc::new(manager);
+        let fresh = recovery.snapshot.is_none() && recovery.records.is_empty();
+        if fresh && !self.catalog.table_names().is_empty() {
+            self.checkpoint_locked(&manager)?;
+        }
+        *self.wal.write() = Some(manager);
+        Ok(())
+    }
+
+    /// Detach the WAL (`PRAGMA wal='off'`). Already-logged state stays
+    /// on disk; later statements are in-memory only.
+    pub fn detach_wal(&self) {
+        let _commit = self.commit_lock.lock();
+        *self.wal.write() = None;
+    }
+
+    /// The attached durability manager, if any.
+    pub fn wal(&self) -> Option<Arc<DurabilityManager>> {
+        self.wal.read().clone()
+    }
+
+    /// Bulk-insert pre-typed rows through the full commit path: atomic
+    /// append, WAL record, auto-checkpoint — identical durability to an
+    /// `INSERT` statement, without parse/bind overhead. This is what
+    /// bulk loaders (berlinmod) should call so loaded data survives a
+    /// crash like any other committed rows.
+    pub fn insert_rows(&self, table: &str, rows: &[Vec<Value>]) -> SqlResult<usize> {
+        let needed = {
+            let _commit = self.commit_lock.lock();
+            let t = self.catalog.get(table)?;
+            let mut t = t.write();
+            let pre_rows = t.row_count();
+            t.append_rows(rows)?;
+            if self.wal.read().is_none() {
+                // No WAL: skip the record copy entirely (hot bulk-load path).
+                false
+            } else {
+                let record = WalRecord::Insert { table: t.name.clone(), rows: rows.to_vec() };
+                match self.wal_append(&record) {
+                    Ok(needed) => needed,
+                    Err(e) => {
+                        truncate_table(&mut t, pre_rows, &self.index_types.read())?;
+                        return Err(e);
+                    }
+                }
+            }
+        };
+        self.maybe_auto_checkpoint(needed);
+        Ok(rows.len())
+    }
+
+    /// Snapshot the whole database into the checkpoint file and truncate
+    /// the WAL (the `CHECKPOINT` statement). Returns `false` (and does
+    /// nothing) when no WAL is attached.
+    pub fn checkpoint(&self) -> SqlResult<bool> {
+        let Some(manager) = self.wal() else { return Ok(false) };
+        let _commit = self.commit_lock.lock();
+        self.checkpoint_locked(&manager)?;
+        Ok(true)
+    }
+
+    /// Checkpoint body; caller holds `commit_lock` so no DML can slip
+    /// between building the image and stamping its WAL position.
+    fn checkpoint_locked(&self, manager: &DurabilityManager) -> SqlResult<()> {
+        let snapshot = self.snapshot_state();
+        manager.checkpoint(&snapshot)
+    }
+
+    /// Materialize the catalog and every table (rows, indexes) as a
+    /// checkpoint image, tables sorted by name.
+    fn snapshot_state(&self) -> Snapshot {
+        let mut tables = Vec::new();
+        for name in self.catalog.table_names() {
+            let Ok(t) = self.catalog.get(&name) else { continue };
+            let t = t.read();
+            let columns: Vec<(String, LogicalType)> = t
+                .column_names
+                .iter()
+                .cloned()
+                .zip(t.columns.iter().map(|c| c.ty.clone()))
+                .collect();
+            let indexes: Vec<IndexDef> = t
+                .indexes
+                .iter()
+                .map(|i| IndexDef {
+                    name: i.name().to_string(),
+                    method: i.method().to_string(),
+                    column: t.column_names[i.column()].clone(),
+                })
+                .collect();
+            let rows: Vec<Vec<Value>> = (0..t.row_count()).map(|i| t.row(i)).collect();
+            tables.push(TableSnapshot { name: t.name.clone(), columns, indexes, rows });
+        }
+        Snapshot { tables }
+    }
+
+    /// Rebuild in-memory state from what recovery found on disk: the
+    /// checkpoint image first (tables, rows, then indexes over them),
+    /// then every WAL record in log order.
+    fn apply_recovery(&self, recovery: &Recovery) -> SqlResult<()> {
+        if let Some(snapshot) = &recovery.snapshot {
+            for ts in &snapshot.tables {
+                self.catalog.create_table(&ts.name, ts.columns.clone(), false)?;
+                let t = self.catalog.get(&ts.name)?;
+                t.write().append_rows(&ts.rows)?;
+            }
+            for ts in &snapshot.tables {
+                for idx in &ts.indexes {
+                    self.create_index(&idx.name, &ts.name, &idx.method, &idx.column)?;
+                }
+            }
+        }
+        for record in &recovery.records {
+            self.apply_record(record)?;
+        }
+        Ok(())
+    }
+
+    /// Replay one WAL record. Reuses the same storage paths the live
+    /// statements use, so replay is apply — byte-for-byte the same
+    /// coercions, the same index rebuilds.
+    fn apply_record(&self, record: &WalRecord) -> SqlResult<()> {
+        match record {
+            WalRecord::CreateTable { name, columns } => {
+                self.catalog.create_table(name, columns.clone(), false)
+            }
+            WalRecord::DropTable { name } => self.catalog.drop_table(name, false),
+            WalRecord::CreateIndex { name, table, method, column } => {
+                self.create_index(name, table, method, column)
+            }
+            WalRecord::Insert { table, rows } => {
+                let t = self.catalog.get(table)?;
+                let res = t.write().append_rows(rows);
+                res
+            }
+            WalRecord::Update { table, cells } => {
+                let t = self.catalog.get(table)?;
+                let mut t = t.write();
+                let mut by_col: BTreeMap<usize, Vec<(usize, Value)>> = BTreeMap::new();
+                for (row, col, v) in cells {
+                    by_col.entry(*col as usize).or_default().push((*row as usize, v.clone()));
+                }
+                for (col, reps) in &by_col {
+                    let nc = build_column_with_replacements(&t, *col, reps)?;
+                    t.columns[*col] = nc;
+                }
+                let cols: Vec<usize> = by_col.keys().copied().collect();
+                rebuild_indexes_for_columns(&mut t, &cols, &self.index_types.read())
+            }
+            WalRecord::Delete { table, rows } => {
+                let t = self.catalog.get(table)?;
+                let mut t = t.write();
+                let dead: std::collections::HashSet<u64> = rows.iter().copied().collect();
+                let keep: Vec<usize> =
+                    (0..t.row_count()).filter(|i| !dead.contains(&(*i as u64))).collect();
+                t.columns = t.columns.iter().map(|c| c.gather(&keep)).collect();
+                let all: Vec<usize> = (0..t.columns.len()).collect();
+                rebuild_indexes_for_columns(&mut t, &all, &self.index_types.read())
+            }
+        }
+    }
+
+    /// Append one record to the attached WAL, if any. Returns whether
+    /// the log has grown past the auto-checkpoint threshold.
+    fn wal_append(&self, record: &WalRecord) -> SqlResult<bool> {
+        match &*self.wal.read() {
+            Some(manager) => manager.append(record),
+            None => Ok(false),
+        }
+    }
+
+    /// Run the size-triggered checkpoint after a statement committed.
+    /// A failure here must not fail that statement — it is already
+    /// applied and durable in the log; the WAL simply keeps growing and
+    /// the next trigger retries (a simulated crash poisons the manager
+    /// and surfaces on the next statement instead).
+    fn maybe_auto_checkpoint(&self, needed: bool) {
+        if !needed {
+            return;
+        }
+        let Some(manager) = self.wal() else { return };
+        let _commit = self.commit_lock.lock();
+        if self.checkpoint_locked(&manager).is_ok() {
+            mduck_obs::metrics().wal_auto_checkpoints.inc(1);
+        }
     }
 
     /// Execute one SQL statement. `SHOW TABLES` and `DESCRIBE <table>`
@@ -416,24 +645,86 @@ impl Database {
             }
             Statement::Pragma { name, value } => self.run_pragma(name, value.as_ref()),
             Statement::CreateTable { name, columns, if_not_exists } => {
-                let registry = self.registry.read();
-                let mut cols = Vec::with_capacity(columns.len());
-                for (cname, tname) in columns {
-                    cols.push((cname.clone(), registry.resolve_type(tname)?));
-                }
-                self.catalog.create_table(name, cols, *if_not_exists)?;
+                let cols = {
+                    let registry = self.registry.read();
+                    let mut cols = Vec::with_capacity(columns.len());
+                    for (cname, tname) in columns {
+                        cols.push((cname.clone(), registry.resolve_type(tname)?));
+                    }
+                    cols
+                };
+                let needed = {
+                    let _commit = self.commit_lock.lock();
+                    // Pre-check so an IF NOT EXISTS no-op logs nothing
+                    // and a name clash fails before the WAL sees it.
+                    if self.catalog.table_schema(name).is_some() {
+                        if *if_not_exists {
+                            return Ok(QueryResult::empty());
+                        }
+                        return Err(SqlError::Catalog(format!("table {name:?} already exists")));
+                    }
+                    let needed = self.wal_append(&WalRecord::CreateTable {
+                        name: name.to_ascii_lowercase(),
+                        columns: cols.clone(),
+                    })?;
+                    self.catalog.create_table(name, cols, *if_not_exists)?;
+                    needed
+                };
+                self.maybe_auto_checkpoint(needed);
                 Ok(QueryResult::empty())
             }
             Statement::DropTable { name, if_exists } => {
-                self.catalog.drop_table(name, *if_exists)?;
+                let needed = {
+                    let _commit = self.commit_lock.lock();
+                    if self.catalog.table_schema(name).is_none() {
+                        if *if_exists {
+                            return Ok(QueryResult::empty());
+                        }
+                        return Err(SqlError::Catalog(format!("table {name:?} does not exist")));
+                    }
+                    let needed = self
+                        .wal_append(&WalRecord::DropTable { name: name.to_ascii_lowercase() })?;
+                    self.catalog.drop_table(name, true)?;
+                    needed
+                };
+                self.maybe_auto_checkpoint(needed);
                 Ok(QueryResult::empty())
             }
             Statement::CreateIndex { name, table, method, column } => {
-                self.create_index(name, table, method, column)?;
+                let needed = {
+                    let _commit = self.commit_lock.lock();
+                    self.create_index(name, table, method, column)?;
+                    let resolved = if method.is_empty() {
+                        "TRTREE".to_string()
+                    } else {
+                        method.to_uppercase()
+                    };
+                    let record = WalRecord::CreateIndex {
+                        name: name.clone(),
+                        table: table.to_ascii_lowercase(),
+                        method: resolved,
+                        column: column.clone(),
+                    };
+                    match self.wal_append(&record) {
+                        Ok(needed) => needed,
+                        Err(e) => {
+                            // Undo the in-memory index: dropping an
+                            // access path is always safe, and the
+                            // statement must not report failure while
+                            // leaving the index behind.
+                            if let Ok(t) = self.catalog.get(table) {
+                                t.write().indexes.retain(|i| i.name() != name);
+                            }
+                            return Err(e);
+                        }
+                    }
+                };
+                self.maybe_auto_checkpoint(needed);
                 Ok(QueryResult::empty())
             }
             Statement::Insert { table, columns, source } => {
-                let n = self.insert(table, columns.as_deref(), source, guard)?;
+                let (n, needed) = self.insert(table, columns.as_deref(), source, guard)?;
+                self.maybe_auto_checkpoint(needed);
                 Ok(QueryResult {
                     schema: Schema::new(vec![mduck_sql::Field {
                         name: "count".into(),
@@ -444,7 +735,8 @@ impl Database {
                 })
             }
             Statement::Update { table, sets, where_clause } => {
-                let n = self.update(table, sets, where_clause.as_ref(), guard)?;
+                let (n, needed) = self.update(table, sets, where_clause.as_ref(), guard)?;
+                self.maybe_auto_checkpoint(needed);
                 Ok(QueryResult {
                     schema: Schema::new(vec![mduck_sql::Field {
                         name: "count".into(),
@@ -455,7 +747,8 @@ impl Database {
                 })
             }
             Statement::Delete { table, where_clause } => {
-                let n = self.delete(table, where_clause.as_ref(), guard)?;
+                let (n, needed) = self.delete(table, where_clause.as_ref(), guard)?;
+                self.maybe_auto_checkpoint(needed);
                 Ok(QueryResult {
                     schema: Schema::new(vec![mduck_sql::Field {
                         name: "count".into(),
@@ -464,6 +757,11 @@ impl Database {
                     }]),
                     rows: vec![vec![Value::Int(n as i64)]],
                 })
+            }
+            Statement::Checkpoint => {
+                let ran = self.checkpoint()?;
+                let (schema, rows) = mduck_sql::introspect::checkpoint_result(ran);
+                Ok(QueryResult { schema, rows })
             }
         }
     }
@@ -493,6 +791,55 @@ impl Database {
             }
             let (schema, rows) =
                 mduck_sql::introspect::memory_limit_result(self.limits.read().memory_limit);
+            return Ok(QueryResult { schema, rows });
+        }
+        if name == "wal" {
+            if let Some(v) = value {
+                let path = match v {
+                    PragmaValue::Str(s) => s.clone(),
+                    PragmaValue::Int(n) => {
+                        return Err(SqlError::Bind(format!(
+                            "PRAGMA wal expects a path string, got {n}"
+                        )))
+                    }
+                };
+                let trimmed = path.trim();
+                if trimmed.is_empty()
+                    || trimmed.eq_ignore_ascii_case("off")
+                    || trimmed.eq_ignore_ascii_case("none")
+                {
+                    self.detach_wal();
+                } else {
+                    self.attach_wal(trimmed)?;
+                }
+            }
+            let shown = self.wal().map(|m| m.wal_path().display().to_string());
+            let (schema, rows) = mduck_sql::introspect::wal_result(shown);
+            return Ok(QueryResult { schema, rows });
+        }
+        if name == "wal_autocheckpoint" {
+            if let Some(v) = value {
+                let n = v.as_int().ok_or_else(|| {
+                    SqlError::Bind(format!(
+                        "PRAGMA wal_autocheckpoint expects a byte count, got {v:?}"
+                    ))
+                })?;
+                if n < 0 {
+                    return Err(SqlError::OutOfRange(format!(
+                        "PRAGMA wal_autocheckpoint expects a non-negative byte count, got {n}"
+                    )));
+                }
+                match self.wal() {
+                    Some(m) => m.set_auto_checkpoint(n as u64),
+                    None => {
+                        return Err(SqlError::execution(
+                            "no WAL attached; PRAGMA wal='path' first",
+                        ))
+                    }
+                }
+            }
+            let current = self.wal().map(|m| m.auto_checkpoint()).unwrap_or(0);
+            let (schema, rows) = mduck_sql::introspect::wal_autocheckpoint_result(current);
             return Ok(QueryResult { schema, rows });
         }
         match mduck_sql::introspect::pragma(name, value)? {
@@ -616,13 +963,14 @@ impl Database {
         Ok(())
     }
 
+    /// INSERT body; returns `(rows inserted, auto-checkpoint due)`.
     fn insert(
         &self,
         table: &str,
         columns: Option<&[String]>,
         source: &InsertSource,
         guard: &ExecGuard,
-    ) -> SqlResult<usize> {
+    ) -> SqlResult<(usize, bool)> {
         let registry = self.registry.read();
         // Compute the incoming rows first (they may SELECT from the target).
         let incoming: Vec<Vec<Value>> = match source {
@@ -653,22 +1001,40 @@ impl Database {
             }
         };
         guard.check_rows(incoming.len())?;
+        let _commit = self.commit_lock.lock();
         let t = self.catalog.get(table)?;
         let mut t = t.write();
         let rows = reorder_for_insert(&t, columns, incoming)?;
         let rows = coerce_rows(&registry, &t.column_types(), rows)?;
         let n = rows.len();
+        // Apply (atomic — see `Table::append_rows`), then log. On a log
+        // failure the append is undone: the statement must not report
+        // failure while leaving its rows behind, and the WAL must not
+        // miss rows a later recovery would then silently drop.
+        let pre_rows = t.row_count();
         t.append_rows(&rows)?;
-        Ok(n)
+        let needed = match self.wal_append(&WalRecord::Insert { table: t.name.clone(), rows }) {
+            Ok(needed) => needed,
+            Err(e) => {
+                truncate_table(&mut t, pre_rows, &self.index_types.read())?;
+                return Err(e);
+            }
+        };
+        Ok((n, needed))
     }
 
+    /// UPDATE body; returns `(rows updated, auto-checkpoint due)`.
+    /// Stage-log-apply: new column vectors and rebuilt indexes are fully
+    /// staged first, the WAL record is appended, and only then is
+    /// anything assigned — the assignment cannot fail, so a trip or an
+    /// I/O error anywhere leaves the table untouched.
     fn update(
         &self,
         table: &str,
         sets: &[(String, mduck_sql::Expr)],
         where_clause: Option<&mduck_sql::Expr>,
         guard: &ExecGuard,
-    ) -> SqlResult<usize> {
+    ) -> SqlResult<(usize, bool)> {
         let registry = self.registry.read();
         let t_arc = self.catalog.get(table)?;
         // Bind against the table schema.
@@ -701,6 +1067,7 @@ impl Database {
             Some(w) => Some(binder.bind_expr(w, &schema)?),
             None => None,
         };
+        let _commit = self.commit_lock.lock();
         let mut t = t_arc.write();
         let n_rows = t.row_count();
         let mut updated = 0usize;
@@ -723,24 +1090,55 @@ impl Database {
             }
             updated += 1;
         }
-        for (k, (col, _)) in bound_sets.iter().enumerate() {
-            rebuild_column(&mut t, *col, &replacements[k])?;
+        if updated == 0 {
+            return Ok((0, false));
         }
-        // Indexes over updated columns are rebuilt wholesale.
-        rebuild_indexes_for_columns(
-            &mut t,
-            &bound_sets.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
-            &self.index_types.read(),
-        )?;
-        Ok(updated)
+        // Stage the new column vectors without touching the table.
+        let mut staged: Vec<(usize, ColumnData)> = Vec::new();
+        for (k, (col, _)) in bound_sets.iter().enumerate() {
+            if replacements[k].is_empty() {
+                continue;
+            }
+            staged.push((*col, build_column_with_replacements(&t, *col, &replacements[k])?));
+        }
+        // Stage rebuilt indexes over the updated columns, reading their
+        // values from the staged vectors.
+        let set_cols: Vec<usize> = bound_sets.iter().map(|(c, _)| *c).collect();
+        let staged_indexes =
+            stage_index_rebuilds(&t, &set_cols, &self.index_types.read(), |col| {
+                match staged.iter().find(|(c, _)| *c == col) {
+                    Some((_, nc)) => (0..nc.len()).map(|i| nc.get(i)).collect(),
+                    None => t.column_values(col),
+                }
+            })?;
+        // Log, then the infallible assignment.
+        let cells: Vec<(u64, u64, Value)> = bound_sets
+            .iter()
+            .enumerate()
+            .flat_map(|(k, (col, _))| {
+                replacements[k]
+                    .iter()
+                    .map(move |(row, v)| (*row as u64, *col as u64, v.clone()))
+            })
+            .collect();
+        let needed = self.wal_append(&WalRecord::Update { table: t.name.clone(), cells })?;
+        for (col, nc) in staged {
+            t.columns[col] = nc;
+        }
+        for (i, idx) in staged_indexes {
+            t.indexes[i] = idx;
+        }
+        Ok((updated, needed))
     }
 
+    /// DELETE body; returns `(rows deleted, auto-checkpoint due)`.
+    /// Stage-log-apply, like [`Database::update`].
     fn delete(
         &self,
         table: &str,
         where_clause: Option<&mduck_sql::Expr>,
         guard: &ExecGuard,
-    ) -> SqlResult<usize> {
+    ) -> SqlResult<(usize, bool)> {
         let registry = self.registry.read();
         let schema_cols = self
             .catalog
@@ -761,10 +1159,12 @@ impl Database {
             Some(w) => Some(binder.bind_expr(w, &schema)?),
             None => None,
         };
+        let _commit = self.commit_lock.lock();
         let t_arc = self.catalog.get(table)?;
         let mut t = t_arc.write();
         let no_sub = mduck_sql::eval::NoSubqueries;
         let mut keep: Vec<usize> = Vec::new();
+        let mut deleted_rows: Vec<u64> = Vec::new();
         let n_rows = t.row_count();
         for i in 0..n_rows {
             guard.check_rows(1)?;
@@ -775,17 +1175,31 @@ impl Database {
                 }
                 None => true,
             };
-            if !delete {
+            if delete {
+                deleted_rows.push(i as u64);
+            } else {
                 keep.push(i);
             }
         }
-        let deleted = n_rows - keep.len();
-        if deleted > 0 {
-            t.columns = t.columns.iter().map(|c| c.gather(&keep)).collect();
-            let all_cols: Vec<usize> = (0..t.columns.len()).collect();
-            rebuild_indexes_for_columns(&mut t, &all_cols, &self.index_types.read())?;
+        let deleted = deleted_rows.len();
+        if deleted == 0 {
+            return Ok((0, false));
         }
-        Ok(deleted)
+        // Stage the surviving columns and the rebuilt indexes, log, then
+        // assign (infallible).
+        let new_columns: Vec<ColumnData> = t.columns.iter().map(|c| c.gather(&keep)).collect();
+        let all_cols: Vec<usize> = (0..t.columns.len()).collect();
+        let staged_indexes =
+            stage_index_rebuilds(&t, &all_cols, &self.index_types.read(), |col| {
+                (0..new_columns[col].len()).map(|i| new_columns[col].get(i)).collect()
+            })?;
+        let needed =
+            self.wal_append(&WalRecord::Delete { table: t.name.clone(), rows: deleted_rows })?;
+        t.columns = new_columns;
+        for (i, idx) in staged_indexes {
+            t.indexes[i] = idx;
+        }
+        Ok((deleted, needed))
     }
 }
 
@@ -881,13 +1295,16 @@ fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
     }
 }
 
-/// Rebuild one column applying the (sorted-by-construction) replacements.
-fn rebuild_column(t: &mut Table, col: usize, replacements: &[(usize, Value)]) -> SqlResult<()> {
-    if replacements.is_empty() {
-        return Ok(());
-    }
+/// Build one column with the (sorted-by-construction) replacements
+/// applied, without touching the table — the staging half of an atomic
+/// UPDATE.
+fn build_column_with_replacements(
+    t: &Table,
+    col: usize,
+    replacements: &[(usize, Value)],
+) -> SqlResult<ColumnData> {
     let ty = t.columns[col].ty.clone();
-    let mut nc = crate::column::ColumnData::new(&ty);
+    let mut nc = ColumnData::new(&ty);
     let mut next = 0usize;
     for i in 0..t.columns[col].len() {
         if next < replacements.len() && replacements[next].0 == i {
@@ -897,8 +1314,32 @@ fn rebuild_column(t: &mut Table, col: usize, replacements: &[(usize, Value)]) ->
             nc.push(&t.columns[col].get(i))?;
         }
     }
-    t.columns[col] = nc;
-    Ok(())
+    Ok(nc)
+}
+
+/// Build replacement indexes for every index over one of `cols`, reading
+/// the indexed values through `values_of` (so callers can point it at
+/// staged columns that are not in the table yet). Returns
+/// `(index slot, new index)` pairs; assigning them cannot fail.
+fn stage_index_rebuilds(
+    t: &Table,
+    cols: &[usize],
+    index_types: &IndexTypeRegistry,
+    values_of: impl Fn(usize) -> Vec<Value>,
+) -> SqlResult<Vec<(usize, Box<dyn crate::index::TableIndex>)>> {
+    let mut out = Vec::new();
+    for (i, idx) in t.indexes.iter().enumerate() {
+        if !cols.contains(&idx.column()) {
+            continue;
+        }
+        let (name, method, col) = (idx.name().to_string(), idx.method().to_string(), idx.column());
+        let ty = t.columns[col].ty.clone();
+        let it = index_types
+            .get(&method)
+            .ok_or_else(|| SqlError::Catalog(format!("index type {method} vanished")))?;
+        out.push((i, it.create(&name, col, &ty, &values_of(col))?));
+    }
+    Ok(out)
 }
 
 fn rebuild_indexes_for_columns(
@@ -906,26 +1347,21 @@ fn rebuild_indexes_for_columns(
     cols: &[usize],
     index_types: &IndexTypeRegistry,
 ) -> SqlResult<()> {
-    let affected: Vec<usize> = t
-        .indexes
-        .iter()
-        .enumerate()
-        .filter(|(_, idx)| cols.contains(&idx.column()))
-        .map(|(i, _)| i)
-        .collect();
-    for i in affected {
-        let (name, method, col) = {
-            let idx = &t.indexes[i];
-            (idx.name().to_string(), idx.method().to_string(), idx.column())
-        };
-        let ty = t.columns[col].ty.clone();
-        let it = index_types
-            .get(&method)
-            .ok_or_else(|| SqlError::Catalog(format!("index type {method} vanished")))?;
-        let values = t.column_values(col);
-        t.indexes[i] = it.create(&name, col, &ty, &values)?;
+    let staged = stage_index_rebuilds(t, cols, index_types, |col| t.column_values(col))?;
+    for (i, idx) in staged {
+        t.indexes[i] = idx;
     }
     Ok(())
+}
+
+/// Roll a table back to `len` rows: truncate every column and rebuild
+/// every attached index (they may hold entries for the removed rows).
+fn truncate_table(t: &mut Table, len: usize, index_types: &IndexTypeRegistry) -> SqlResult<()> {
+    for c in &mut t.columns {
+        c.truncate(len);
+    }
+    let all: Vec<usize> = (0..t.columns.len()).collect();
+    rebuild_indexes_for_columns(t, &all, index_types)
 }
 
 fn reorder_for_insert(

@@ -1,0 +1,372 @@
+//! Reversible binary encoding for [`Value`] and [`LogicalType`].
+//!
+//! Unlike `Value::hash_key` (one-way, for grouping), this codec must
+//! round-trip every storable value byte-exactly across a process
+//! restart. Extension values are encoded as `(type name, to_bytes())`
+//! and decoded through the registry's ext codecs — the same "aliased
+//! BLOB" contract the paper uses for MEOS types — so a WAL containing
+//! `tgeompoint` columns can only be recovered after
+//! `mobilityduck::load` has populated the registry.
+//!
+//! All integers are little-endian. Strings and blobs are
+//! length-prefixed with `u32`. Each value starts with a one-byte tag.
+
+use std::sync::Arc;
+
+use mduck_sql::{LogicalType, Registry, SqlError, SqlResult, Value};
+
+// Value tags. Stable on disk: append new tags, never renumber.
+const T_NULL: u8 = 0;
+const T_BOOL: u8 = 1;
+const T_INT: u8 = 2;
+const T_FLOAT: u8 = 3;
+const T_TEXT: u8 = 4;
+const T_BLOB: u8 = 5;
+const T_TIMESTAMP: u8 = 6;
+const T_DATE: u8 = 7;
+const T_INTERVAL: u8 = 8;
+const T_EXT: u8 = 9;
+const T_LIST: u8 = 10;
+
+// LogicalType tags.
+const LT_NULL: u8 = 0;
+const LT_BOOL: u8 = 1;
+const LT_INT: u8 = 2;
+const LT_FLOAT: u8 = 3;
+const LT_TEXT: u8 = 4;
+const LT_BLOB: u8 = 5;
+const LT_TIMESTAMP: u8 = 6;
+const LT_DATE: u8 = 7;
+const LT_INTERVAL: u8 = 8;
+const LT_EXT: u8 = 9;
+const LT_LIST: u8 = 10;
+const LT_ANY: u8 = 11;
+
+// ------------------------------------------------------------------ writer
+
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+// ------------------------------------------------------------------ reader
+
+/// A bounds-checked reader over an on-disk payload. Every overrun is a
+/// typed [`SqlError::Corruption`], never a panic.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> SqlResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(SqlError::corruption(format!(
+                "payload truncated: wanted {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> SqlResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> SqlResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> SqlResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub fn i32(&mut self) -> SqlResult<i32> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn i64(&mut self) -> SqlResult<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub fn bytes(&mut self) -> SqlResult<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    pub fn str(&mut self) -> SqlResult<&'a str> {
+        let b = self.bytes()?;
+        std::str::from_utf8(b)
+            .map_err(|e| SqlError::corruption(format!("payload holds invalid UTF-8: {e}")))
+    }
+}
+
+// ------------------------------------------------------------------ values
+
+pub fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(buf, T_NULL),
+        Value::Bool(b) => {
+            put_u8(buf, T_BOOL);
+            put_u8(buf, *b as u8);
+        }
+        Value::Int(n) => {
+            put_u8(buf, T_INT);
+            put_i64(buf, *n);
+        }
+        Value::Float(f) => {
+            put_u8(buf, T_FLOAT);
+            put_u64(buf, f.to_bits());
+        }
+        Value::Text(s) => {
+            put_u8(buf, T_TEXT);
+            put_str(buf, s);
+        }
+        Value::Blob(b) => {
+            put_u8(buf, T_BLOB);
+            put_bytes(buf, b);
+        }
+        Value::Timestamp(us) => {
+            put_u8(buf, T_TIMESTAMP);
+            put_i64(buf, *us);
+        }
+        Value::Date(d) => {
+            put_u8(buf, T_DATE);
+            put_i32(buf, *d);
+        }
+        Value::Interval { months, days, usecs } => {
+            put_u8(buf, T_INTERVAL);
+            put_i32(buf, *months);
+            put_i32(buf, *days);
+            put_i64(buf, *usecs);
+        }
+        Value::Ext(e) => {
+            put_u8(buf, T_EXT);
+            put_str(buf, e.type_name());
+            put_bytes(buf, &e.obj.to_bytes());
+        }
+        Value::List(items) => {
+            put_u8(buf, T_LIST);
+            put_u32(buf, items.len() as u32);
+            for item in items.iter() {
+                encode_value(buf, item);
+            }
+        }
+    }
+}
+
+pub fn decode_value(cur: &mut Cursor<'_>, registry: &Registry) -> SqlResult<Value> {
+    let tag = cur.u8()?;
+    Ok(match tag {
+        T_NULL => Value::Null,
+        T_BOOL => Value::Bool(cur.u8()? != 0),
+        T_INT => Value::Int(cur.i64()?),
+        T_FLOAT => Value::Float(f64::from_bits(cur.u64()?)),
+        T_TEXT => Value::Text(Arc::from(cur.str()?)),
+        T_BLOB => Value::Blob(Arc::from(cur.bytes()?)),
+        T_TIMESTAMP => Value::Timestamp(cur.i64()?),
+        T_DATE => Value::Date(cur.i32()?),
+        T_INTERVAL => Value::Interval {
+            months: cur.i32()?,
+            days: cur.i32()?,
+            usecs: cur.i64()?,
+        },
+        T_EXT => {
+            let name = cur.str()?.to_string();
+            let bytes = cur.bytes()?;
+            let decode = registry.ext_codec(&name).ok_or_else(|| {
+                SqlError::execution(format!(
+                    "cannot recover value of extension type '{name}': no codec registered \
+                     (attach the WAL after loading the extension)"
+                ))
+            })?;
+            decode(bytes)?
+        }
+        T_LIST => {
+            let n = cur.u32()? as usize;
+            let mut items = Vec::with_capacity(n.min(65_536));
+            for _ in 0..n {
+                items.push(decode_value(cur, registry)?);
+            }
+            Value::List(Arc::new(items))
+        }
+        other => {
+            return Err(SqlError::corruption(format!("unknown value tag {other}")));
+        }
+    })
+}
+
+// ------------------------------------------------------------------ types
+
+pub fn encode_type(buf: &mut Vec<u8>, ty: &LogicalType) {
+    match ty {
+        LogicalType::Null => put_u8(buf, LT_NULL),
+        LogicalType::Bool => put_u8(buf, LT_BOOL),
+        LogicalType::Int => put_u8(buf, LT_INT),
+        LogicalType::Float => put_u8(buf, LT_FLOAT),
+        LogicalType::Text => put_u8(buf, LT_TEXT),
+        LogicalType::Blob => put_u8(buf, LT_BLOB),
+        LogicalType::Timestamp => put_u8(buf, LT_TIMESTAMP),
+        LogicalType::Date => put_u8(buf, LT_DATE),
+        LogicalType::Interval => put_u8(buf, LT_INTERVAL),
+        LogicalType::Ext(name) => {
+            put_u8(buf, LT_EXT);
+            put_str(buf, name);
+        }
+        LogicalType::List => put_u8(buf, LT_LIST),
+        LogicalType::Any => put_u8(buf, LT_ANY),
+    }
+}
+
+pub fn decode_type(cur: &mut Cursor<'_>) -> SqlResult<LogicalType> {
+    let tag = cur.u8()?;
+    Ok(match tag {
+        LT_NULL => LogicalType::Null,
+        LT_BOOL => LogicalType::Bool,
+        LT_INT => LogicalType::Int,
+        LT_FLOAT => LogicalType::Float,
+        LT_TEXT => LogicalType::Text,
+        LT_BLOB => LogicalType::Blob,
+        LT_TIMESTAMP => LogicalType::Timestamp,
+        LT_DATE => LogicalType::Date,
+        LT_INTERVAL => LogicalType::Interval,
+        LT_EXT => LogicalType::ext(cur.str()?),
+        LT_LIST => LogicalType::List,
+        LT_ANY => LogicalType::Any,
+        other => {
+            return Err(SqlError::corruption(format!("unknown type tag {other}")));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, v);
+        let registry = Registry::default();
+        decode_value(&mut Cursor::new(&buf), &registry).unwrap()
+    }
+
+    #[test]
+    fn scalar_values_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(-0.0),
+            Value::Float(f64::MAX),
+            Value::text("héllo wörld"),
+            Value::blob(vec![0u8, 255, 3]),
+            Value::Timestamp(1_700_000_000_000_000),
+            Value::Date(-719_162),
+            Value::Interval { months: -3, days: 14, usecs: 123_456 },
+            Value::List(Arc::new(vec![Value::Int(1), Value::Null, Value::text("x")])),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn nan_bits_are_preserved() {
+        let v = Value::Float(f64::NAN);
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &v);
+        let registry = Registry::default();
+        let back = decode_value(&mut Cursor::new(&buf), &registry).unwrap();
+        match back {
+            Value::Float(f) => assert_eq!(f.to_bits(), f64::NAN.to_bits()),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn types_roundtrip() {
+        for ty in [
+            LogicalType::Null,
+            LogicalType::Bool,
+            LogicalType::Int,
+            LogicalType::Float,
+            LogicalType::Text,
+            LogicalType::Blob,
+            LogicalType::Timestamp,
+            LogicalType::Date,
+            LogicalType::Interval,
+            LogicalType::ext("stbox"),
+            LogicalType::List,
+            LogicalType::Any,
+        ] {
+            let mut buf = Vec::new();
+            encode_type(&mut buf, &ty);
+            assert_eq!(decode_type(&mut Cursor::new(&buf)).unwrap(), ty);
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_typed_corruption() {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::text("truncate me"));
+        buf.truncate(buf.len() - 3);
+        let registry = Registry::default();
+        let err = decode_value(&mut Cursor::new(&buf), &registry).unwrap_err();
+        assert!(matches!(err, SqlError::Corruption(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_ext_type_is_typed_execution_error() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 9); // T_EXT
+        put_str(&mut buf, "mystery");
+        put_bytes(&mut buf, b"\x01\x02");
+        let registry = Registry::default();
+        let err = decode_value(&mut Cursor::new(&buf), &registry).unwrap_err();
+        assert!(matches!(err, SqlError::Execution(_)), "{err}");
+    }
+}

@@ -54,6 +54,44 @@ scan() {
   done | sort
 }
 
+# The durability crate gets a stricter rule with NO allowlist escape:
+# every file/sync/rename result feeds crash recovery, so an unchecked
+# `.unwrap()` / `.expect(` outside tests is always a bug there — a torn
+# write must surface as a typed SqlError, never a panic mid-commit.
+# (`unwrap_or_else`/`unwrap_or_default` are combinators, not panics,
+# and are deliberately not matched.)
+wal_gate() {
+  local f hits=""
+  for f in $(find crates/wal/src -name '*.rs' | sort); do
+    local found
+    found=$(awk -v file="$f" '
+      pending && /\{/ { skipping = 1; pending = 0 }
+      skipping {
+        n = gsub(/\{/, "{"); m = gsub(/\}/, "}")
+        depth += n - m
+        if (depth <= 0) { skipping = 0; depth = 0 }
+        next
+      }
+      /#\[cfg\(test\)\]/ { pending = 1; depth = 0; next }
+      /\.unwrap\(\)|\.expect\(/ {
+        line = $0
+        gsub(/^[ \t]+|[ \t]+$/, "", line)
+        if (line ~ /^\/\//) next
+        printf "%s:%d:%s\n", file, NR, line
+      }
+    ' "$f")
+    [[ -n "$found" ]] && hits+="$found"$'\n'
+  done
+  if [[ -n "${hits//$'\n'/}" ]]; then
+    echo
+    echo "Unchecked unwrap()/expect() in crates/wal (no allowlist applies):"
+    printf '%s' "$hits"
+    echo "Durability I/O must return typed SqlError, not panic."
+    exit 1
+  fi
+}
+wal_gate
+
 CURRENT="$(mktemp)"
 trap 'rm -f "$CURRENT"' EXIT
 scan > "$CURRENT"

@@ -38,6 +38,18 @@ echo "== resource observability =="
 # workers charge the same statement scope and must surface the trip.
 MDUCK_THREADS=4 cargo test -q -p mduck-integration --test resource_obs
 
+echo "== durability / crash torture =="
+# Crash-simulate at every registered failpoint (the torture harness
+# enumerates ≥50 distinct (site, hit) crash points per engine from a
+# clean run, then replays each with a simulated process death) and
+# assert the recovered state equals the committed statement prefix.
+# Runs serially and with a 4-worker pool: the WAL commit path must be
+# identical under parallel execution. MDUCK_FAILPOINTS itself is
+# exercised in-process via the programmatic API the env var feeds.
+cargo test -q -p mduck-wal
+cargo test -q -p mduck-integration --test durability --test crash_torture
+MDUCK_THREADS=4 cargo test -q -p mduck-integration --test durability --test crash_torture
+
 echo "== clippy =="
 # Scoped to the bug classes this codebase has actually shipped
 # (panicking arithmetic/slicing in parsers); unwrap/expect policing is
